@@ -1,0 +1,118 @@
+//===- bench/BenchUtil.h - Shared helpers for benchmark binaries *- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers shared by the figure/evaluation binaries:
+/// fixed-width tables, edge-list rendering in the paper's s1..sN
+/// notation, and cycle diagrams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_BENCH_BENCHUTIL_H
+#define PIRA_BENCH_BENCHUTIL_H
+
+#include "ir/Function.h"
+#include "ir/Printer.h"
+#include "sched/Schedule.h"
+#include "support/UndirectedGraph.h"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pira {
+namespace bench {
+
+/// Renders an undirected edge list `{s1,s4} {s2,s3} ...` in the paper's
+/// 1-based notation, restricted to vertices < Limit.
+inline std::string paperEdges(const UndirectedGraph &G, unsigned Limit) {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[A, B] : G.edgeList()) {
+    if (A >= Limit || B >= Limit)
+      continue;
+    OS << (First ? "" : " ") << "{s" << A + 1 << ",s" << B + 1 << "}";
+    First = false;
+  }
+  if (First)
+    OS << "(none)";
+  return OS.str();
+}
+
+/// A fixed-width text table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  /// Adds one row (stringified cells).
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  /// Prints the table with column separators.
+  void print(std::ostream &OS) const {
+    std::vector<size_t> Widths(Headers.size(), 0);
+    for (size_t C = 0; C != Headers.size(); ++C)
+      Widths[C] = Headers[C].size();
+    for (const auto &Row : Rows)
+      for (size_t C = 0; C != Row.size() && C != Widths.size(); ++C)
+        Widths[C] = std::max(Widths[C], Row[C].size());
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      OS << "  ";
+      for (size_t C = 0; C != Widths.size(); ++C) {
+        OS << std::left << std::setw(static_cast<int>(Widths[C]) + 2)
+           << (C < Row.size() ? Row[C] : "");
+      }
+      OS << '\n';
+    };
+    PrintRow(Headers);
+    OS << "  ";
+    for (size_t C = 0; C != Widths.size(); ++C)
+      OS << std::string(Widths[C], '-') << "  ";
+    OS << '\n';
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Prints the cycle-by-cycle issue diagram of one block.
+inline void printCycleDiagram(const Function &F, unsigned Block,
+                              const BlockSchedule &S, std::ostream &OS) {
+  auto Groups = S.groupsByCycle();
+  for (unsigned C = 0; C != Groups.size(); ++C) {
+    OS << "    cycle " << std::setw(2) << C << ":";
+    for (unsigned I : Groups[C])
+      OS << "  ["
+         << formatInstruction(F.block(Block).inst(I), F.isAllocated(), &F)
+         << "]";
+    OS << '\n';
+  }
+}
+
+/// Shorthand for numeric cells.
+template <typename T> std::string cell(T Value) {
+  std::ostringstream OS;
+  OS << Value;
+  return OS.str();
+}
+
+/// Fixed-precision double cell.
+inline std::string cell(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+} // namespace bench
+} // namespace pira
+
+#endif // PIRA_BENCH_BENCHUTIL_H

@@ -1,0 +1,100 @@
+//===- bench/heuristic_ablation.cpp - Section 4 heuristic ablation --------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Ablates the Section 4 heuristics one at a time under register
+// pressure:
+//   * EP preliminary reordering on/off (the paper: "we will add a
+//     preliminary scheduling heuristic for selecting one such order");
+//   * the h* edge weights — parallel weight 0 reduces h* to the
+//     traditional cost/degree, larger weights bias toward keeping
+//     parallelism (the paper: "parallelism that will eventually
+//     materialize is preferred over the cost of spilling");
+//   * the region (global) extension on/off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "workloads/Kernels.h"
+
+#include <iostream>
+
+using namespace pira;
+using namespace pira::bench;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  PinterOptions Opts;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> V;
+  PinterOptions Base;
+  V.push_back({"baseline (w_par=1, presched)", Base});
+
+  PinterOptions NoPre = Base;
+  NoPre.PreSchedule = false;
+  V.push_back({"no pre-scheduling", NoPre});
+
+  PinterOptions ClassicH = Base;
+  ClassicH.ParallelWeight = 0.0;
+  V.push_back({"classic h (w_par=0)", ClassicH});
+
+  PinterOptions HeavyPar = Base;
+  HeavyPar.ParallelWeight = 4.0;
+  V.push_back({"parallel-biased (w_par=4)", HeavyPar});
+
+  PinterOptions Regions = Base;
+  Regions.UseRegions = true;
+  V.push_back({"with region extension", Regions});
+  return V;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "==========================================================\n"
+            << " Section 4 heuristic ablation (combined strategy)\n"
+            << "==========================================================\n";
+
+  bool AllOk = true;
+  for (unsigned Regs : {4u, 6u}) {
+    MachineModel M = MachineModel::rs6000(Regs);
+    std::cout << "\n--- " << M.name() << ", r = " << Regs << " ---\n";
+    Table T({"kernel", "variant", "spill instrs", "par dropped",
+             "false deps", "cycles"});
+    for (auto &[Name, Kernel] : standardKernelSuite()) {
+      bool First = true;
+      for (const Variant &Var : variants()) {
+        PipelineResult R =
+            runAndMeasure(StrategyKind::Combined, Kernel, M, Var.Opts);
+        if (!R.Success) {
+          T.addRow({First ? Name : "", Var.Name, "(failed)", "-", "-",
+                    "-"});
+          AllOk = false;
+          First = false;
+          continue;
+        }
+        T.addRow({First ? Name : "", Var.Name, cell(R.SpillInstructions),
+                  cell(R.ParallelEdgesDropped), cell(R.FalseDeps),
+                  cell(R.DynCycles)});
+        First = false;
+      }
+    }
+    T.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: disabling pre-scheduling or zeroing the\n"
+            << "parallel weight generally costs cycles under pressure;\n"
+            << "the region extension never hurts correctness and may\n"
+            << "spend extra registers guarding cross-block parallelism.\n"
+            << "\nRESULT: " << (AllOk ? "ALL RUNS SUCCEEDED" : "FAILURES")
+            << "\n\n";
+  return AllOk ? 0 : 1;
+}

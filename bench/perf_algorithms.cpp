@@ -1,0 +1,134 @@
+//===- bench/perf_algorithms.cpp - Algorithmic cost benchmarks ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// google-benchmark timings of the framework's building blocks against
+// block size: schedule-graph construction, transitive closure, false
+// dependence graph, PIG construction, the two coloring procedures, the
+// list scheduler, and the full combined pipeline. These back the
+// engineering claim that the construction is practical: the closure is
+// the asymptotic bottleneck at O(V^2 * V/64) bit steps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Webs.h"
+#include "core/FalseDependenceGraph.h"
+#include "core/ParallelInterferenceGraph.h"
+#include "core/PinterAllocator.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "regalloc/ChaitinAllocator.h"
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/SpillCost.h"
+#include "sched/ListScheduler.h"
+#include "workloads/RandomProgram.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pira;
+
+namespace {
+
+Function makeBlock(unsigned Instructions) {
+  RandomProgramOptions Opts;
+  Opts.InstructionsPerBlock = Instructions / 2; // two body blocks
+  Opts.Seed = 4242;
+  Opts.FloatPercent = 40;
+  Opts.MemoryPercent = 25;
+  return generateRandomProgram(Opts);
+}
+
+void BM_DependenceGraph(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  for (auto _ : State) {
+    DependenceGraph G(F, 0, M);
+    benchmark::DoNotOptimize(G.size());
+  }
+}
+BENCHMARK(BM_DependenceGraph)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TransitiveClosure(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  DependenceGraph G(F, 0, M);
+  for (auto _ : State) {
+    BitMatrix R = G.reachability();
+    benchmark::DoNotOptimize(R.count());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FalseDependenceGraph(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  for (auto _ : State) {
+    FalseDependenceGraph FDG(F, 0, M);
+    benchmark::DoNotOptimize(FDG.parallelPairs().numEdges());
+  }
+}
+BENCHMARK(BM_FalseDependenceGraph)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_PigConstruction(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  Webs W(F);
+  InterferenceGraph IG(F, W);
+  for (auto _ : State) {
+    ParallelInterferenceGraph PIG(F, W, IG, M);
+    benchmark::DoNotOptimize(PIG.numWebs());
+  }
+}
+BENCHMARK(BM_PigConstruction)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ChaitinColor(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  Webs W(F);
+  InterferenceGraph IG(F, W);
+  std::vector<double> Costs = computeSpillCosts(F, W);
+  for (auto _ : State) {
+    Allocation A = chaitinColor(IG.graph(), Costs, 16);
+    benchmark::DoNotOptimize(A.NumColorsUsed);
+  }
+}
+BENCHMARK(BM_ChaitinColor)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_PinterColor(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(16);
+  Webs W(F);
+  InterferenceGraph IG(F, W);
+  ParallelInterferenceGraph PIG(F, W, IG, M);
+  std::vector<double> Costs = computeSpillCosts(F, W);
+  for (auto _ : State) {
+    Allocation A = pinterColor(PIG, Costs, 16);
+    benchmark::DoNotOptimize(A.NumColorsUsed);
+  }
+}
+BENCHMARK(BM_PinterColor)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ListScheduler(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  for (auto _ : State) {
+    FunctionSchedule S = scheduleFunction(F, M);
+    benchmark::DoNotOptimize(S.totalMakespan());
+  }
+}
+BENCHMARK(BM_ListScheduler)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CombinedPipeline(benchmark::State &State) {
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(12);
+  for (auto _ : State) {
+    PipelineResult R = runStrategy(StrategyKind::Combined, F, M);
+    benchmark::DoNotOptimize(R.StaticCycles);
+  }
+}
+BENCHMARK(BM_CombinedPipeline)->Arg(32)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

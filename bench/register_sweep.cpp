@@ -1,0 +1,71 @@
+//===- bench/register_sweep.cpp - Register-pressure sweep -----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Sweeps the register-file size from starved to ample on representative
+// kernels, charting the spill/parallelism trade-off of Section 4: with
+// scarce registers the combined allocator sheds the least valuable
+// parallel edges before it spills; with ample registers it matches the
+// symbolic-code schedule exactly (Theorem 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "workloads/Kernels.h"
+
+#include <iostream>
+
+using namespace pira;
+using namespace pira::bench;
+
+int main() {
+  std::cout << "==========================================================\n"
+            << " Register sweep (rs6000-style machine, r = 3..12)\n"
+            << "==========================================================\n";
+
+  std::vector<std::pair<std::string, Function>> Kernels = {
+      {"hydro-u2", livermoreHydro(2)},
+      {"fir-t4", firFilter(4)},
+      {"cmul-3", complexMultiply(3)},
+      {"example2", paperExample2()}};
+  const StrategyKind Kinds[3] = {StrategyKind::AllocFirst,
+                                 StrategyKind::SchedFirst,
+                                 StrategyKind::Combined};
+  bool AllOk = true;
+
+  for (auto &[Name, Kernel] : Kernels) {
+    std::cout << "\n--- kernel: " << Name << " ---\n";
+    Table T({"r", "strategy", "spill instrs", "false deps",
+             "par edges dropped", "cycles"});
+    for (unsigned Regs = 3; Regs <= 12; Regs += (Regs < 8 ? 1 : 4)) {
+      for (unsigned K = 0; K != 3; ++K) {
+        MachineModel M = MachineModel::rs6000(Regs);
+        PipelineResult R = runAndMeasure(Kinds[K], Kernel, M);
+        if (!R.Success) {
+          T.addRow({K == 0 ? cell(Regs) : "", strategyName(Kinds[K]),
+                    "(failed)", "-", "-", "-"});
+          // Failure is expected only when registers cannot possibly
+          // hold the operands (r < 3 never swept here).
+          AllOk = false;
+          continue;
+        }
+        T.addRow({K == 0 ? cell(Regs) : "", strategyName(Kinds[K]),
+                  cell(R.SpillInstructions), cell(R.FalseDeps),
+                  cell(R.ParallelEdgesDropped), cell(R.DynCycles)});
+      }
+    }
+    T.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: spills fall to zero as r grows; the\n"
+            << "combined column's 'par edges dropped' falls to zero with\n"
+            << "ample r and its false deps stay at zero there; cycle\n"
+            << "counts converge to the symbolic-schedule optimum.\n"
+            << "\nRESULT: " << (AllOk ? "ALL RUNS SUCCEEDED" : "FAILURES")
+            << "\n\n";
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+//===- bench/strategy_comparison.cpp - The promised evaluation ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// The paper promised experimental results ("we shall have some
+// experimental results by the time the full paper is due") comparing its
+// combined framework against the two deployed phase orderings: register
+// allocation before scheduling (MIPS [6]) and scheduling before
+// allocation (IBM RS/6000 [14]). This binary runs that comparison over
+// the kernel suite on every machine model, measuring dynamic cycles in
+// the superscalar simulator along with spills and false dependences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "workloads/Kernels.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace pira;
+using namespace pira::bench;
+
+int main() {
+  std::cout << "==========================================================\n"
+            << " Strategy comparison: alloc-first vs sched-first vs\n"
+            << " combined (the paper's framework)\n"
+            << "==========================================================\n";
+
+  std::vector<MachineModel> Machines = {MachineModel::paperTwoUnit(6),
+                                        MachineModel::rs6000(6),
+                                        MachineModel::vliw4(6)};
+  const StrategyKind Kinds[4] = {StrategyKind::AllocFirst,
+                                 StrategyKind::SchedFirst,
+                                 StrategyKind::IntegratedPrepass,
+                                 StrategyKind::Combined};
+  bool AllOk = true;
+
+  for (const MachineModel &M : Machines) {
+    std::cout << "\n--- machine: " << M.name() << " ("
+              << M.numPhysRegs() << " registers) ---\n";
+    Table T({"kernel", "strategy", "regs", "spill instrs", "false deps",
+             "cycles", "vs combined"});
+    double LogSum[4] = {0, 0, 0, 0};
+    unsigned Counted = 0;
+
+    for (auto &[Name, Kernel] : standardKernelSuite()) {
+      PipelineResult R[4];
+      for (unsigned K = 0; K != 4; ++K)
+        R[K] = runAndMeasure(Kinds[K], Kernel, M);
+      bool Ok = R[0].Success && R[1].Success && R[2].Success && R[3].Success;
+      AllOk &= Ok;
+      if (!Ok) {
+        T.addRow({Name, "(failed)", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      ++Counted;
+      for (unsigned K = 0; K != 4; ++K) {
+        double Ratio = static_cast<double>(R[K].DynCycles) /
+                       static_cast<double>(R[3].DynCycles);
+        LogSum[K] += std::log(Ratio);
+        T.addRow({K == 0 ? Name : "", strategyName(Kinds[K]),
+                  cell(R[K].RegistersUsed), cell(R[K].SpillInstructions),
+                  cell(R[K].FalseDeps), cell(R[K].DynCycles),
+                  cell(Ratio, 3) + "x"});
+      }
+    }
+    T.print(std::cout);
+    std::cout << "  geomean cycle ratio vs combined:  alloc-first "
+              << cell(std::exp(LogSum[0] / Counted), 3)
+              << "x   sched-first "
+              << cell(std::exp(LogSum[1] / Counted), 3)
+              << "x   goodman-hsu-ips "
+              << cell(std::exp(LogSum[2] / Counted), 3) << "x\n";
+  }
+
+  std::cout << "\nExpected shape (paper Sections 1 and 3): combined is\n"
+            << "never slower than alloc-first on parallel machines, has\n"
+            << "zero false dependences whenever it needs no spills, and\n"
+            << "avoids sched-first's extra spills under pressure.\n"
+            << "\nRESULT: " << (AllOk ? "ALL RUNS SUCCEEDED" : "FAILURES")
+            << "\n\n";
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+//===- bench/unroll_sweep.cpp - ILP vs register pressure sweep ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Sweeps the loop-unroll factor on streaming kernels: unrolling widens
+// the scheduling window (more instruction-level parallelism per trip)
+// while multiplying live temporaries — exactly the spill/parallelism
+// tension the paper's Section 4 heuristics arbitrate. Cycles are
+// measured end to end in the simulator; lower cycles per element is
+// better.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "transforms/LoopUnroller.h"
+#include "workloads/Kernels.h"
+
+#include <iostream>
+
+using namespace pira;
+using namespace pira::bench;
+
+int main() {
+  std::cout << "==========================================================\n"
+            << " Unroll sweep (vliw4 machine): cycles vs unroll factor\n"
+            << "==========================================================\n";
+
+  std::vector<std::pair<std::string, Function>> Kernels = {
+      {"dot", dotProduct(1)},
+      {"saxpy", saxpy(1)},
+      {"iccg", livermoreIccg(1)}};
+  const StrategyKind Kinds[2] = {StrategyKind::AllocFirst,
+                                 StrategyKind::Combined};
+  bool AllOk = true;
+
+  for (unsigned Regs : {8u, 16u}) {
+    MachineModel M = MachineModel::vliw4(Regs);
+    std::cout << "\n--- " << M.name() << ", r = " << Regs << " ---\n";
+    Table T({"kernel", "unroll", "strategy", "spill instrs", "false deps",
+             "cycles"});
+    for (auto &[Name, Kernel] : Kernels) {
+      bool First = true;
+      for (unsigned Factor : {1u, 2u, 4u, 8u}) {
+        Function F = Kernel;
+        if (Factor != 1 && unrollAllLoops(F, Factor) == 0) {
+          T.addRow({First ? Name : "", cell(Factor), "(not unrollable)",
+                    "-", "-", "-"});
+          First = false;
+          continue;
+        }
+        for (unsigned K = 0; K != 2; ++K) {
+          PipelineResult R = runAndMeasure(Kinds[K], F, M);
+          if (!R.Success) {
+            T.addRow({First ? Name : "", cell(Factor),
+                      strategyName(Kinds[K]), "(failed)", "-", "-"});
+            AllOk = false;
+            First = false;
+            continue;
+          }
+          T.addRow({First ? Name : "", cell(Factor),
+                    strategyName(Kinds[K]), cell(R.SpillInstructions),
+                    cell(R.FalseDeps), cell(R.DynCycles)});
+          First = false;
+        }
+      }
+    }
+    T.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: cycles fall with moderate unrolling while\n"
+            << "registers last, then spill code erodes the win — and the\n"
+            << "combined strategy extracts more of the unrolled ILP than\n"
+            << "alloc-first at equal register budgets.\n"
+            << "\nRESULT: " << (AllOk ? "ALL RUNS SUCCEEDED" : "FAILURES")
+            << "\n\n";
+  return AllOk ? 0 : 1;
+}

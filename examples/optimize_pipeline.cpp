@@ -1,0 +1,115 @@
+//===- examples/optimize_pipeline.cpp - Transform + compile pipeline ------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Scenario: squeezing a streaming kernel for a wide machine. Starts from
+// the textual IR a front end would hand over (with reused registers),
+// then runs the full middle end this library provides:
+//
+//   1. normalizeWebNames — the paper's one-register-per-value input form
+//   2. propagateCopies + eliminateDeadCode — classic cleanups
+//   3. unrollCountedLoop — widen the scheduling window
+//   4. the combined (PIG) strategy — allocate + schedule without false
+//      dependences
+//
+// and prints the cycle gains of each step, measured in the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "transforms/Cleanup.h"
+#include "transforms/LoopUnroller.h"
+#include "transforms/Normalize.h"
+
+#include <iostream>
+
+using namespace pira;
+
+// A front-end-ish rendering of  out[i] = a[i]*b[i] + c : register names
+// reused across values, a redundant copy, and a dead temporary.
+static const char *Source = R"(func @axpyish regs 12 {
+  array a 64
+  array b 64
+  array c 1
+  array out 64
+block entry:
+  %s0 = load c[0]
+  %s1 = copy %s0       # redundant move a front end might emit
+  %s2 = li 0           # i
+  %s3 = li 64          # n
+  %s4 = li 1           # step
+  %s5 = add %s3, %s4   # dead temporary
+  br loop
+block loop:
+  %s6 = load a[%s2]
+  %s7 = load b[%s2]
+  %s8 = fmul %s6, %s7
+  %s8 = fadd %s8, %s1  # reuses %s8 for a second value
+  store out[%s2], %s8
+  %s2 = add %s2, %s4
+  %s9 = cmplt %s2, %s3
+  cbr %s9, loop, done
+block done:
+  ret
+}
+)";
+
+static uint64_t measure(const Function &F, const MachineModel &M,
+                        const char *Stage) {
+  PipelineResult R = runAndMeasure(StrategyKind::Combined, F, M);
+  if (!R.Success) {
+    std::cerr << Stage << ": compile failed: " << R.Error << '\n';
+    std::exit(1);
+  }
+  std::cout << "  " << Stage << ": " << R.DynCycles << " cycles, "
+            << R.RegistersUsed << " regs, " << R.SpillInstructions
+            << " spill instrs, " << R.FalseDeps << " false deps\n";
+  return R.DynCycles;
+}
+
+int main() {
+  Function F;
+  std::string Err;
+  if (!parseFunction(Source, F, Err)) {
+    std::cerr << "parse error: " << Err << '\n';
+    return 1;
+  }
+  if (!verifyFunction(F, Err)) {
+    std::cerr << "verify error: " << Err << '\n';
+    return 1;
+  }
+  MachineModel M = MachineModel::vliw4(10);
+
+  std::cout << "=== middle-end pipeline on " << M.name() << " ("
+            << M.numPhysRegs() << " regs) ===\n";
+  uint64_t Baseline = measure(F, M, "as written          ");
+
+  unsigned Renamed = normalizeWebNames(F);
+  std::cout << "  [normalize: " << Renamed << " operands renamed]\n";
+  measure(F, M, "normalized          ");
+
+  unsigned Forwarded = propagateCopies(F);
+  unsigned Removed = eliminateDeadCode(F);
+  std::cout << "  [cleanup: " << Forwarded << " operands forwarded, "
+            << Removed << " instructions deleted]\n";
+  measure(F, M, "cleaned             ");
+
+  if (!unrollCountedLoop(F, 1, 4)) {
+    std::cerr << "unroll failed\n";
+    return 1;
+  }
+  std::cout << "  [loop unrolled x4]\n";
+  uint64_t Final = measure(F, M, "unrolled x4         ");
+
+  std::cout << "\nfinal code:\n";
+  printFunction(F, std::cout);
+  std::cout << "\nspeedup vs as-written: "
+            << static_cast<double>(Baseline) / static_cast<double>(Final)
+            << "x\n";
+  return 0;
+}

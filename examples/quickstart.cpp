@@ -1,0 +1,64 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Builds the paper's Example 2, allocates it with the combined
+// (parallelizable-interference-graph) framework, schedules it for the
+// paper's two-arithmetic-unit machine, and prints everything a user needs
+// to see: the symbolic code, the allocation, the cycle-by-cycle schedule,
+// and the simulator's verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Strategies.h"
+#include "sim/SuperscalarSim.h"
+#include "workloads/Kernels.h"
+
+#include <iostream>
+
+using namespace pira;
+
+int main() {
+  Function Program = paperExample2();
+  MachineModel Machine = MachineModel::paperTwoUnit(/*Regs=*/4);
+
+  std::cout << "=== Input (symbolic registers) ===\n";
+  printFunction(Program, std::cout);
+
+  PipelineResult R = runAndMeasure(StrategyKind::Combined, Program, Machine);
+  if (!R.Success) {
+    std::cerr << "pipeline failed: " << R.Error << '\n';
+    return 1;
+  }
+
+  std::cout << "\n=== After combined allocation (physical registers) ===\n";
+  printFunction(R.Final, std::cout);
+
+  std::cout << "\n=== Schedule on " << Machine.name() << " ===\n";
+  for (unsigned B = 0; B != R.Final.numBlocks(); ++B) {
+    std::cout << "block " << R.Final.block(B).name() << ":\n";
+    auto Groups = R.Sched.Blocks[B].groupsByCycle();
+    for (unsigned C = 0; C != Groups.size(); ++C) {
+      std::cout << "  cycle " << C << ":";
+      for (unsigned I : Groups[C])
+        std::cout << "   ["
+                  << formatInstruction(R.Final.block(B).inst(I),
+                                       /*Physical=*/true, &R.Final)
+                  << "]";
+      std::cout << '\n';
+    }
+  }
+
+  std::cout << "\n=== Results ===\n"
+            << "registers used:      " << R.RegistersUsed << '\n'
+            << "spilled live ranges: " << R.SpilledWebs << '\n'
+            << "false dependences:   " << R.FalseDeps << '\n'
+            << "static cycles:       " << R.StaticCycles << '\n'
+            << "dynamic cycles:      " << R.DynCycles << '\n'
+            << "semantics preserved: "
+            << (R.SemanticsPreserved ? "yes" : "NO") << '\n';
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- analysis/DependenceGraph.h - Per-block schedule graph ----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's schedule graph Gs for one basic block: one vertex per
+/// instruction and a directed edge (u, v) whenever u must execute before
+/// v — register data dependences (flow, and anti/output once registers are
+/// reused), conservative memory ordering, and terminator placement. With
+/// symbolic registers (one register per value) no anti or output register
+/// dependence exists, exactly as the paper observes, so Et then "contains
+/// exactly the real constraints on the scheduler."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_ANALYSIS_DEPENDENCEGRAPH_H
+#define PIRA_ANALYSIS_DEPENDENCEGRAPH_H
+
+#include "support/BitMatrix.h"
+
+#include <vector>
+
+namespace pira {
+
+class BasicBlock;
+class Function;
+class MachineModel;
+
+/// Classifies why one instruction must precede another.
+enum class DepKind : unsigned {
+  Flow,    ///< Register written by From is read by To.
+  Anti,    ///< Register read by From is rewritten by To.
+  Output,  ///< Register written by From is rewritten by To.
+  Memory,  ///< Possible same-location memory access ordering.
+  Control, ///< Terminator must remain at the block end.
+};
+
+/// Returns a printable name for \p Kind.
+const char *depKindName(DepKind Kind);
+
+/// One precedence edge of the schedule graph.
+struct DepEdge {
+  unsigned From;
+  unsigned To;
+  DepKind Kind;
+  /// Minimum issue-cycle separation: To may issue no earlier than
+  /// cycle(From) + Latency. Zero permits same-cycle issue (anti
+  /// dependences under read-before-write register semantics).
+  unsigned Latency;
+};
+
+/// The schedule graph of one basic block.
+class DependenceGraph {
+public:
+  /// Builds the graph for \p BB of \p F with \p Machine's latencies.
+  /// \p BlockIdx selects the block within the function.
+  DependenceGraph(const Function &F, unsigned BlockIdx,
+                  const MachineModel &Machine);
+
+  /// Returns the number of instructions (vertices).
+  unsigned size() const { return NumNodes; }
+
+  /// Returns all edges in deterministic order.
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Returns the indices into edges() of edges leaving \p Node.
+  const std::vector<unsigned> &succEdges(unsigned Node) const {
+    return Succ[Node];
+  }
+
+  /// Returns the indices into edges() of edges entering \p Node.
+  const std::vector<unsigned> &predEdges(unsigned Node) const {
+    return Pred[Node];
+  }
+
+  /// Returns true when an edge (\p From, \p To) of any kind exists.
+  bool hasEdge(unsigned From, unsigned To) const {
+    return Adjacent.test(From, To);
+  }
+
+  /// Returns directed reachability (the transitive closure of the edge
+  /// relation). Entry (u, v) is set iff a nonempty path u -> v exists.
+  BitMatrix reachability() const;
+
+  /// Returns true when a nonempty directed path \p From -> \p To exists.
+  /// Convenience over reachability() for one-off queries.
+  bool hasPath(unsigned From, unsigned To) const;
+
+private:
+  void addEdge(unsigned From, unsigned To, DepKind Kind, unsigned Latency);
+
+  unsigned NumNodes = 0;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<unsigned>> Succ;
+  std::vector<std::vector<unsigned>> Pred;
+  BitMatrix Adjacent;
+};
+
+} // namespace pira
+
+#endif // PIRA_ANALYSIS_DEPENDENCEGRAPH_H

@@ -1,0 +1,127 @@
+//===- analysis/Dominators.cpp - Dominator and postdominator trees --------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pira;
+
+/// Computes a reverse postorder of the graph reachable from \p Root.
+static std::vector<unsigned>
+reversePostorder(const std::vector<std::vector<unsigned>> &Succs,
+                 unsigned Root) {
+  unsigned N = static_cast<unsigned>(Succs.size());
+  std::vector<unsigned> Order;
+  std::vector<char> State(N, 0); // 0 new, 1 open, 2 done
+  std::vector<std::pair<unsigned, unsigned>> Stack = {{Root, 0}};
+  State[Root] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextChild] = Stack.back();
+    if (NextChild < Succs[Node].size()) {
+      unsigned Child = Succs[Node][NextChild++];
+      if (State[Child] == 0) {
+        State[Child] = 1;
+        Stack.emplace_back(Child, 0);
+      }
+      continue;
+    }
+    State[Node] = 2;
+    Order.push_back(Node);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+DominatorTree::DominatorTree(
+    const std::vector<std::vector<unsigned>> &Succs, unsigned Root)
+    : Root(Root) {
+  unsigned N = static_cast<unsigned>(Succs.size());
+  Idom.assign(N, -1);
+
+  std::vector<unsigned> RPO = reversePostorder(Succs, Root);
+  std::vector<int> RpoNumber(N, -1);
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    RpoNumber[RPO[I]] = static_cast<int>(I);
+
+  std::vector<std::vector<unsigned>> Preds(N);
+  for (unsigned B = 0; B != N; ++B)
+    for (unsigned S : Succs[B])
+      Preds[S].push_back(B);
+
+  // Cooper-Harvey-Kennedy: intersect along idom chains until fixpoint.
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = static_cast<unsigned>(Idom[A]);
+      while (RpoNumber[B] > RpoNumber[A])
+        B = static_cast<unsigned>(Idom[B]);
+    }
+    return A;
+  };
+
+  Idom[Root] = static_cast<int>(Root); // temporary self-loop for intersect
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : RPO) {
+      if (Node == Root)
+        continue;
+      unsigned NewIdom = ~0u;
+      for (unsigned P : Preds[Node]) {
+        if (RpoNumber[P] < 0 || Idom[P] == -1)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom == ~0u ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom == ~0u)
+        continue;
+      if (Idom[Node] != static_cast<int>(NewIdom)) {
+        Idom[Node] = static_cast<int>(NewIdom);
+        Changed = true;
+      }
+    }
+  }
+  Idom[Root] = -1;
+}
+
+bool DominatorTree::dominates(unsigned A, unsigned B) const {
+  assert(A < Idom.size() && B < Idom.size() && "node out of range");
+  if (!isReachable(B))
+    return A == B;
+  for (int Node = static_cast<int>(B); Node != -1;
+       Node = Idom[static_cast<unsigned>(Node)])
+    if (static_cast<unsigned>(Node) == A)
+      return true;
+  return false;
+}
+
+DominatorTree DominatorTree::forward(const Function &F) {
+  std::vector<std::vector<unsigned>> Succs(F.numBlocks());
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    Succs[B] = F.block(B).successors();
+  return DominatorTree(Succs, /*Root=*/0);
+}
+
+DominatorTree DominatorTree::postdom(const Function &F) {
+  unsigned N = F.numBlocks();
+  unsigned VirtualExit = N;
+  // Reversed CFG with the virtual exit as root; exit-less blocks (Ret or
+  // no successors) feed the virtual exit in the forward direction.
+  std::vector<std::vector<unsigned>> Reversed(N + 1);
+  for (unsigned B = 0; B != N; ++B) {
+    std::vector<unsigned> Succs = F.block(B).successors();
+    if (Succs.empty())
+      Reversed[VirtualExit].push_back(B);
+    for (unsigned S : Succs)
+      Reversed[S].push_back(B);
+  }
+  return DominatorTree(Reversed, VirtualExit);
+}

@@ -1,0 +1,67 @@
+//===- analysis/Dominators.h - Dominator and postdominator trees *- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees over the CFG, computed with the
+/// iterative Cooper-Harvey-Kennedy algorithm. The paper uses both to find
+/// "plausible" block pairs for region scheduling: B1 dominates B2 and B2
+/// postdominates B1 iff the two blocks execute under exactly the same
+/// conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_ANALYSIS_DOMINATORS_H
+#define PIRA_ANALYSIS_DOMINATORS_H
+
+#include <vector>
+
+namespace pira {
+
+class Function;
+
+/// A dominator tree over an arbitrary successor relation; see the two
+/// factories for forward and reverse (postdominator) orientations.
+class DominatorTree {
+public:
+  /// Builds the forward dominator tree of \p F (entry = block 0).
+  static DominatorTree forward(const Function &F);
+
+  /// Builds the postdominator tree of \p F over the reversed CFG with a
+  /// virtual exit joining every Ret (and otherwise successor-less) block.
+  /// The virtual exit has index numBlocks().
+  static DominatorTree postdom(const Function &F);
+
+  /// Returns the immediate dominator of \p Block, or -1 for the root and
+  /// for nodes unreachable in this orientation.
+  int idom(unsigned Block) const { return Idom[Block]; }
+
+  /// Returns true when \p A dominates \p B (reflexive). Unreachable nodes
+  /// dominate nothing and are dominated by nothing but themselves.
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// Returns true when \p Block is reachable in this orientation.
+  bool isReachable(unsigned Block) const {
+    return Block == Root || Idom[Block] != -1;
+  }
+
+  /// Returns the number of nodes (including any virtual exit).
+  unsigned size() const { return static_cast<unsigned>(Idom.size()); }
+
+  /// Returns the root node index.
+  unsigned root() const { return Root; }
+
+private:
+  DominatorTree(const std::vector<std::vector<unsigned>> &Succs,
+                unsigned Root);
+
+  unsigned Root = 0;
+  std::vector<int> Idom;
+};
+
+} // namespace pira
+
+#endif // PIRA_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,51 @@
+//===- analysis/Liveness.cpp - Global live-variable analysis --------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "ir/Function.h"
+
+using namespace pira;
+
+Liveness::Liveness(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumRegs = F.numRegs();
+  UseSets.assign(NumBlocks, BitVector(NumRegs));
+  DefSets.assign(NumBlocks, BitVector(NumRegs));
+  LiveInSets.assign(NumBlocks, BitVector(NumRegs));
+  LiveOutSets.assign(NumBlocks, BitVector(NumRegs));
+
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    for (const Instruction &I : F.block(B).instructions()) {
+      for (Reg U : I.uses())
+        if (!DefSets[B].test(U))
+          UseSets[B].set(U);
+      if (I.hasDef())
+        DefSets[B].set(I.def());
+    }
+  }
+
+  // Iterate to the (unique) fixed point; reverse block order converges
+  // quickly on reducible CFGs.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = NumBlocks; B-- != 0;) {
+      BitVector Out(NumRegs);
+      for (unsigned Succ : F.block(B).successors())
+        Out.unionWith(LiveInSets[Succ]);
+      BitVector In = Out;
+      In.subtract(DefSets[B]);
+      In.unionWith(UseSets[B]);
+      if (Out != LiveOutSets[B] || In != LiveInSets[B]) {
+        LiveOutSets[B] = std::move(Out);
+        LiveInSets[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,89 @@
+//===- analysis/Regions.cpp - Plausible block pairs and regions -----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Regions.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace pira;
+
+RegionAnalysis::RegionAnalysis(const Function &F) {
+  unsigned N = F.numBlocks();
+  DominatorTree Dom = DominatorTree::forward(F);
+  DominatorTree PDom = DominatorTree::postdom(F);
+
+  // Acyclicity is judged with back edges removed: a region is an acyclic
+  // fragment *within* one loop body (an edge u -> v is a back edge when v
+  // dominates u).
+  Reach = BitMatrix(N);
+  for (unsigned B = 0; B != N; ++B)
+    for (unsigned S : F.block(B).successors())
+      if (!Dom.dominates(S, B))
+        Reach.set(B, S);
+  Reach.transitiveClosure();
+
+  Plausible = BitMatrix(N);
+  for (unsigned A = 0; A != N; ++A) {
+    for (unsigned B = 0; B != N; ++B) {
+      if (A == B)
+        continue;
+      // A executes iff B executes: A dom B and B postdom A — and the pair
+      // must be acyclic (rules out loop header/latch pairs).
+      if (Dom.dominates(A, B) && PDom.dominates(B, A) && !Reach.test(B, A))
+        Plausible.set(A, B); // ordered: A precedes B
+    }
+  }
+
+  // Greedy chains in dominance order: start from each unassigned block,
+  // repeatedly append the lowest-index unassigned block plausible with
+  // every block already in the chain.
+  RegionOf.assign(N, ~0u);
+  for (unsigned Start = 0; Start != N; ++Start) {
+    if (RegionOf[Start] != ~0u)
+      continue;
+    std::vector<unsigned> Chain = {Start};
+    RegionOf[Start] = static_cast<unsigned>(RegionList.size());
+    bool Extended = true;
+    while (Extended) {
+      Extended = false;
+      for (unsigned Cand = 0; Cand != N; ++Cand) {
+        if (RegionOf[Cand] != ~0u)
+          continue;
+        bool Ok = true;
+        for (unsigned Member : Chain)
+          if (!Plausible.test(Member, Cand) &&
+              !Plausible.test(Cand, Member)) {
+            Ok = false;
+            break;
+          }
+        if (!Ok)
+          continue;
+        RegionOf[Cand] = RegionOf[Start];
+        // Keep dominance order: insert before the first member the
+        // candidate precedes.
+        size_t Pos = Chain.size();
+        for (size_t I = 0; I != Chain.size(); ++I)
+          if (Plausible.test(Cand, Chain[I])) {
+            Pos = I;
+            break;
+          }
+        Chain.insert(Chain.begin() + static_cast<long>(Pos), Cand);
+        Extended = true;
+        break;
+      }
+    }
+    RegionList.push_back(std::move(Chain));
+  }
+}
+
+bool RegionAnalysis::plausiblePair(unsigned A, unsigned B) const {
+  assert(A < RegionOf.size() && B < RegionOf.size() && "block out of range");
+  return Plausible.test(A, B) || Plausible.test(B, A);
+}

@@ -1,0 +1,226 @@
+//===- analysis/Webs.cpp - Right-number-of-names live ranges --------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Webs.h"
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace pira;
+
+namespace {
+
+/// Plain union-find over dense ids.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  void merge(unsigned A, unsigned B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+/// One definition record: a real site or a register's virtual entry def.
+struct DefRecord {
+  Reg R;
+  bool Virtual;
+  unsigned Block; // real defs only
+  unsigned Inst;  // real defs only
+};
+
+} // namespace
+
+Webs::Webs(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumRegs = F.numRegs();
+
+  // Enumerate defs: one virtual entry def per register first (so a web
+  // with id order starting at real defs stays deterministic), then real
+  // defs in program order.
+  std::vector<DefRecord> Defs;
+  Defs.reserve(NumRegs + F.totalInstructions());
+  for (Reg R = 0; R != NumRegs; ++R)
+    Defs.push_back({R, /*Virtual=*/true, 0, 0});
+
+  DefIndexAt.resize(NumBlocks);
+  UseWebAt.resize(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    DefIndexAt[B].assign(BB.size(), -1);
+    UseWebAt[B].resize(BB.size());
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      const Instruction &Inst = BB.inst(I);
+      UseWebAt[B][I].assign(Inst.uses().size(), 0);
+      if (!Inst.hasDef())
+        continue;
+      DefIndexAt[B][I] = static_cast<int>(Defs.size());
+      Defs.push_back({Inst.def(), /*Virtual=*/false, B, I});
+    }
+  }
+  unsigned NumDefs = static_cast<unsigned>(Defs.size());
+
+  // Per-block Gen (downward-exposed defs) and Kill (all other defs of the
+  // registers the block writes).
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumDefs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumDefs));
+  std::vector<std::vector<unsigned>> DefsOfReg(NumRegs);
+  for (unsigned D = 0; D != NumDefs; ++D)
+    DefsOfReg[Defs[D].R].push_back(D);
+
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      if (DefIndexAt[B][I] < 0)
+        continue;
+      unsigned D = static_cast<unsigned>(DefIndexAt[B][I]);
+      for (unsigned Other : DefsOfReg[Defs[D].R]) {
+        Gen[B].reset(Other);
+        Kill[B].set(Other);
+      }
+      Gen[B].set(D);
+      Kill[B].reset(D);
+    }
+  }
+
+  // Entry fact: every virtual def reaches the entry.
+  BitVector EntryFact(NumDefs);
+  for (Reg R = 0; R != NumRegs; ++R)
+    EntryFact.set(R);
+
+  std::vector<std::vector<unsigned>> Preds = F.predecessors();
+  std::vector<BitVector> ReachIn(NumBlocks, BitVector(NumDefs));
+  std::vector<BitVector> ReachOut(NumBlocks, BitVector(NumDefs));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 0; B != NumBlocks; ++B) {
+      BitVector In(NumDefs);
+      if (B == 0)
+        In.unionWith(EntryFact);
+      for (unsigned P : Preds[B])
+        In.unionWith(ReachOut[P]);
+      BitVector Out = In;
+      Out.subtract(Kill[B]);
+      Out.unionWith(Gen[B]);
+      if (In != ReachIn[B] || Out != ReachOut[B]) {
+        ReachIn[B] = std::move(In);
+        ReachOut[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+
+  // Bind each use to its reaching defs and union them. Remember one
+  // representative def per use operand for later web lookup.
+  UnionFind UF(NumDefs);
+  std::vector<std::vector<std::vector<unsigned>>> UseDefAt(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    UseDefAt[B].resize(BB.size());
+    // LocalDef[R]: def index of the latest in-block def of R seen so far.
+    std::vector<int> LocalDef(NumRegs, -1);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      const Instruction &Inst = BB.inst(I);
+      UseDefAt[B][I].assign(Inst.uses().size(), 0);
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        Reg R = Inst.uses()[Op];
+        unsigned First = ~0u;
+        if (LocalDef[R] >= 0) {
+          First = static_cast<unsigned>(LocalDef[R]);
+        } else {
+          for (unsigned D : DefsOfReg[R]) {
+            if (!ReachIn[B].test(D))
+              continue;
+            if (First == ~0u)
+              First = D;
+            else
+              UF.merge(First, D);
+          }
+          // Unreachable blocks receive no dataflow facts; bind their uses
+          // to the register's virtual entry def.
+          if (First == ~0u)
+            First = R;
+        }
+        UseDefAt[B][I][Op] = First;
+      }
+      if (DefIndexAt[B][I] >= 0)
+        LocalDef[Inst.def()] = DefIndexAt[B][I];
+    }
+  }
+
+  // A virtual entry def whose web has no real def and no bound use is an
+  // artifact of modeling; skip such webs entirely.
+  BitVector RootReferenced(NumDefs);
+  for (unsigned D = NumRegs; D != NumDefs; ++D)
+    RootReferenced.set(UF.find(D));
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    for (unsigned I = 0, E = F.block(B).size(); I != E; ++I)
+      for (unsigned D : UseDefAt[B][I])
+        RootReferenced.set(UF.find(D));
+
+  // Number webs densely in order of first def id; fill the public tables.
+  DefWeb.assign(NumDefs, ~0u);
+  std::vector<int> RootToWeb(NumDefs, -1);
+  for (unsigned D = 0; D != NumDefs; ++D) {
+    unsigned Root = UF.find(D);
+    if (!RootReferenced.test(Root))
+      continue;
+    if (RootToWeb[Root] < 0) {
+      RootToWeb[Root] = static_cast<int>(WebRegs.size());
+      WebRegs.push_back(Defs[D].R);
+      WebDefs.emplace_back();
+      WebHasEntryDef.push_back(false);
+      WebUseCounts.push_back(0);
+    }
+    unsigned Web = static_cast<unsigned>(RootToWeb[Root]);
+    DefWeb[D] = Web;
+    if (Defs[D].Virtual)
+      WebHasEntryDef[Web] = true;
+    else
+      WebDefs[Web].push_back({Defs[D].Block, Defs[D].Inst});
+  }
+
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    for (unsigned I = 0, E = F.block(B).size(); I != E; ++I)
+      for (unsigned Op = 0,
+                    OE = static_cast<unsigned>(UseDefAt[B][I].size());
+           Op != OE; ++Op) {
+        unsigned Web = DefWeb[UseDefAt[B][I][Op]];
+        UseWebAt[B][I][Op] = Web;
+        ++WebUseCounts[Web];
+      }
+}
+
+unsigned Webs::webOfDef(unsigned Block, unsigned Inst) const {
+  assert(Block < DefIndexAt.size() && Inst < DefIndexAt[Block].size() &&
+         "instruction out of range");
+  int D = DefIndexAt[Block][Inst];
+  assert(D >= 0 && "instruction has no def");
+  return DefWeb[static_cast<unsigned>(D)];
+}
+
+unsigned Webs::webOfUse(unsigned Block, unsigned Inst,
+                        unsigned OpIdx) const {
+  assert(Block < UseWebAt.size() && Inst < UseWebAt[Block].size() &&
+         OpIdx < UseWebAt[Block][Inst].size() && "use operand out of range");
+  return UseWebAt[Block][Inst][OpIdx];
+}

@@ -1,0 +1,84 @@
+//===- analysis/Webs.h - Right-number-of-names live ranges ------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "right number of names" analysis (after Chaitin et al.):
+/// def-use chains that reach a common use are combined into one compound
+/// live interval — the value must end up in a single register (Figure 6).
+/// A web is such a maximal union of definitions; webs are the vertices of
+/// the interference graph and of the parallelizable interference graph.
+///
+/// Values read before any definition (function inputs) are modeled by a
+/// virtual definition at the entry, so every use belongs to exactly one
+/// web.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_ANALYSIS_WEBS_H
+#define PIRA_ANALYSIS_WEBS_H
+
+#include "ir/Instruction.h"
+
+#include <utility>
+#include <vector>
+
+namespace pira {
+
+class Function;
+
+/// A definition site: block index and instruction index within it.
+using DefSite = std::pair<unsigned, unsigned>;
+
+/// Partitions definitions into webs via reaching-definitions dataflow and
+/// union-find over shared uses.
+class Webs {
+public:
+  /// Runs the analysis on \p F.
+  explicit Webs(const Function &F);
+
+  /// Returns the number of webs (live-range vertices).
+  unsigned numWebs() const { return static_cast<unsigned>(WebRegs.size()); }
+
+  /// Returns the register the web names (all defs of a web define the
+  /// same register).
+  Reg webRegister(unsigned Web) const { return WebRegs[Web]; }
+
+  /// Returns the web of the value defined by instruction \p Inst of block
+  /// \p Block (which must have a def).
+  unsigned webOfDef(unsigned Block, unsigned Inst) const;
+
+  /// Returns the web supplying use operand \p OpIdx of instruction
+  /// \p Inst in block \p Block.
+  unsigned webOfUse(unsigned Block, unsigned Inst, unsigned OpIdx) const;
+
+  /// Real definition sites of \p Web in program order.
+  const std::vector<DefSite> &defsOfWeb(unsigned Web) const {
+    return WebDefs[Web];
+  }
+
+  /// True when the web's value may flow in at function entry (it contains
+  /// the register's virtual entry definition).
+  bool hasEntryDef(unsigned Web) const { return WebHasEntryDef[Web]; }
+
+  /// Number of use operands bound to \p Web across the function.
+  unsigned numUsesOfWeb(unsigned Web) const { return WebUseCounts[Web]; }
+
+private:
+  // Dense maps keyed by (block, inst): index of the def record, and for
+  // each use operand its web. Built once in the constructor.
+  std::vector<std::vector<int>> DefIndexAt;           // -1 when no def
+  std::vector<std::vector<std::vector<unsigned>>> UseWebAt;
+  std::vector<unsigned> DefWeb;                       // def record -> web
+  std::vector<Reg> WebRegs;
+  std::vector<std::vector<DefSite>> WebDefs;
+  std::vector<bool> WebHasEntryDef;
+  std::vector<unsigned> WebUseCounts;
+};
+
+} // namespace pira
+
+#endif // PIRA_ANALYSIS_WEBS_H

@@ -1,0 +1,49 @@
+//===- core/AugmentedPig.cpp - Scheduler-facing augmented PIG -------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AugmentedPig.h"
+
+#include "analysis/Webs.h"
+#include "core/FalseDependenceGraph.h"
+#include "ir/Function.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <cassert>
+
+using namespace pira;
+
+AugmentedPig::AugmentedPig(const Function &F, unsigned BlockIdx,
+                           const Webs &W, const MachineModel &Machine) {
+  assert(!F.isAllocated() && "the augmented PIG is built on symbolic code");
+  const BasicBlock &BB = F.block(BlockIdx);
+  unsigned N = BB.size();
+  Ef = UndirectedGraph(N);
+  Overlap = UndirectedGraph(N);
+  Full = UndirectedGraph(N);
+
+  FalseDependenceGraph FDG(F, BlockIdx, Machine);
+  Ef.unionWith(FDG.parallelPairs());
+  Full.unionWith(FDG.parallelPairs());
+
+  // Live-range overlap edges between defining instructions: project the
+  // web interference relation back onto this block's defs.
+  InterferenceGraph IG(F, W);
+  for (unsigned I = 0; I != N; ++I) {
+    if (!BB.inst(I).hasDef())
+      continue;
+    unsigned WebI = W.webOfDef(BlockIdx, I);
+    for (unsigned J = I + 1; J != N; ++J) {
+      if (!BB.inst(J).hasDef())
+        continue;
+      unsigned WebJ = W.webOfDef(BlockIdx, J);
+      if (WebI != WebJ && IG.interfere(WebI, WebJ)) {
+        Overlap.addEdge(I, J);
+        Full.addEdge(I, J);
+      }
+    }
+  }
+}

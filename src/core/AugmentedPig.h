@@ -1,0 +1,68 @@
+//===- core/AugmentedPig.h - Scheduler-facing augmented PIG -----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *augmented* parallelizable interference graph (Section 3):
+/// vertices are ALL instructions of a block — including stores and other
+/// non-defining operations — and an edge means either "these two
+/// operations may be scheduled in the same cycle" (an Ef edge) or "these
+/// represent live ranges that are not disjoint" (an interference edge
+/// mapped back to defining instructions). The augmented parts take no
+/// part in coloring; their role is to hand the instruction scheduler its
+/// candidate lists: "at each node v the edges {v,u} ∈ Ej ∩ E provide the
+/// list of available instructions (with v) as used in list scheduling
+/// algorithms such as [Gibbons-Muchnick]".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_CORE_AUGMENTEDPIG_H
+#define PIRA_CORE_AUGMENTEDPIG_H
+
+#include "support/UndirectedGraph.h"
+
+#include <vector>
+
+namespace pira {
+
+class Function;
+class MachineModel;
+class Webs;
+
+/// The augmented PIG of one basic block.
+class AugmentedPig {
+public:
+  /// Builds the graph for block \p BlockIdx of symbolic-form \p F.
+  AugmentedPig(const Function &F, unsigned BlockIdx, const Webs &W,
+               const MachineModel &Machine);
+
+  /// Returns the number of vertices (== instructions in the block).
+  unsigned size() const { return Ef.numVertices(); }
+
+  /// Co-issue (Ef) edges over instruction indices.
+  const UndirectedGraph &coIssuePairs() const { return Ef; }
+
+  /// Live-range overlap edges mapped onto defining instructions.
+  const UndirectedGraph &overlapPairs() const { return Overlap; }
+
+  /// The full augmented edge set (union of the two families).
+  const UndirectedGraph &graph() const { return Full; }
+
+  /// The scheduler's candidate list at \p Inst: instructions that may
+  /// share \p Inst's cycle, ascending.
+  std::vector<unsigned> availableWith(unsigned Inst) const {
+    return Ef.neighborList(Inst);
+  }
+
+private:
+  UndirectedGraph Ef;
+  UndirectedGraph Overlap;
+  UndirectedGraph Full;
+};
+
+} // namespace pira
+
+#endif // PIRA_CORE_AUGMENTEDPIG_H

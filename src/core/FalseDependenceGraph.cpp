@@ -1,0 +1,69 @@
+//===- core/FalseDependenceGraph.cpp - The paper's Gf ---------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FalseDependenceGraph.h"
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+
+using namespace pira;
+
+FalseDependenceGraph::FalseDependenceGraph(const Function &F,
+                                           unsigned BlockIdx,
+                                           const MachineModel &Machine) {
+  DependenceGraph Gs(F, BlockIdx, Machine);
+  build(F, BlockIdx, Gs, Machine);
+}
+
+FalseDependenceGraph::FalseDependenceGraph(const Function &F,
+                                           unsigned BlockIdx,
+                                           const DependenceGraph &Gs,
+                                           const MachineModel &Machine) {
+  build(F, BlockIdx, Gs, Machine);
+}
+
+void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
+                                 const DependenceGraph &Gs,
+                                 const MachineModel &Machine) {
+  const BasicBlock &BB = F.block(BlockIdx);
+  unsigned N = Gs.size();
+  Constraints = UndirectedGraph(N);
+  MachinePairs = UndirectedGraph(N);
+  ParallelPairs = UndirectedGraph(N);
+
+  // Et part 1: the transitive closure of Gs, directions removed.
+  BitMatrix Reach = Gs.reachability();
+  for (unsigned U = 0; U != N; ++U)
+    for (int V = Reach.row(U).findFirst(); V != -1;
+         V = Reach.row(U).findNext(static_cast<unsigned>(V)))
+      if (static_cast<unsigned>(V) != U)
+        Constraints.addEdge(U, static_cast<unsigned>(V));
+
+  // Et part 2: non-precedence machine constraints — pairs contending for
+  // a unit class with a single unit (the paper's explicit rule; multiple
+  // units of one class are left to the scheduler per footnote 3). A
+  // single-issue machine serializes every pair.
+  for (unsigned U = 0; U != N; ++U)
+    for (unsigned V = U + 1; V != N; ++V) {
+      bool Conflict = Machine.issueWidth() == 1;
+      if (!Conflict) {
+        UnitKind KU = BB.inst(U).unit();
+        Conflict = KU == BB.inst(V).unit() && Machine.isSingleUnit(KU);
+      }
+      if (Conflict) {
+        Constraints.addEdge(U, V);
+        MachinePairs.addEdge(U, V);
+      }
+    }
+
+  // Ef: the complement of Et — exactly the pairs that may share a cycle.
+  for (unsigned U = 0; U != N; ++U)
+    for (unsigned V = U + 1; V != N; ++V)
+      if (!Constraints.hasEdge(U, V))
+        ParallelPairs.addEdge(U, V);
+}

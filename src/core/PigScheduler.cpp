@@ -1,0 +1,105 @@
+//===- core/PigScheduler.cpp - List scheduling off the augmented PIG ------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PigScheduler.h"
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Webs.h"
+#include "core/AugmentedPig.h"
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+#include "sched/EPTimes.h"
+
+#include <array>
+#include <cassert>
+
+using namespace pira;
+
+BlockSchedule pira::scheduleBlockWithPig(const Function &F,
+                                         unsigned BlockIdx,
+                                         const AugmentedPig &APig,
+                                         const DependenceGraph &G,
+                                         const MachineModel &Machine) {
+  const BasicBlock &BB = F.block(BlockIdx);
+  unsigned N = G.size();
+  assert(APig.size() == N && "augmented PIG does not match block");
+
+  BlockSchedule Out;
+  Out.CycleOf.assign(N, 0);
+  if (N == 0)
+    return Out;
+
+  std::vector<unsigned> Height = computeHeights(G);
+  std::vector<unsigned> PredsLeft(N, 0);
+  for (unsigned V = 0; V != N; ++V)
+    PredsLeft[V] = static_cast<unsigned>(G.predEdges(V).size());
+  std::vector<unsigned> ReadyAt(N, 0);
+  std::vector<bool> Issued(N, false);
+  unsigned Remaining = N;
+  unsigned Cycle = 0;
+
+  while (Remaining != 0) {
+    unsigned SlotsLeft = Machine.issueWidth();
+    std::array<unsigned, NumUnitKinds> UnitsLeft{};
+    for (unsigned K = 0; K != NumUnitKinds; ++K)
+      UnitsLeft[K] = Machine.units(static_cast<UnitKind>(K));
+    std::vector<unsigned> InCycle;
+
+    bool IssuedAny = true;
+    while (IssuedAny && SlotsLeft != 0) {
+      IssuedAny = false;
+      unsigned Best = ~0u;
+      for (unsigned V = 0; V != N; ++V) {
+        if (Issued[V] || PredsLeft[V] != 0 || ReadyAt[V] > Cycle)
+          continue;
+        if (UnitsLeft[static_cast<unsigned>(BB.inst(V).unit())] == 0)
+          continue;
+        // The graph's candidate rule: V must be co-issuable (Ef
+        // adjacent) with everything already in the cycle.
+        bool Compatible = true;
+        for (unsigned Placed : InCycle)
+          Compatible &= APig.coIssuePairs().hasEdge(V, Placed);
+        if (!Compatible)
+          continue;
+        if (Best == ~0u || Height[V] > Height[Best])
+          Best = V;
+      }
+      if (Best == ~0u)
+        break;
+
+      Issued[Best] = true;
+      Out.CycleOf[Best] = Cycle;
+      InCycle.push_back(Best);
+      --Remaining;
+      --SlotsLeft;
+      --UnitsLeft[static_cast<unsigned>(BB.inst(Best).unit())];
+      IssuedAny = true;
+      for (unsigned EI : G.succEdges(Best)) {
+        const DepEdge &E = G.edges()[EI];
+        ReadyAt[E.To] = std::max(ReadyAt[E.To], Cycle + E.Latency);
+        --PredsLeft[E.To];
+      }
+    }
+    ++Cycle;
+  }
+  Out.Makespan = Cycle;
+  return Out;
+}
+
+FunctionSchedule pira::scheduleFunctionWithPig(const Function &F,
+                                               const MachineModel &Machine) {
+  assert(!F.isAllocated() && "the augmented PIG covers symbolic code");
+  Webs W(F);
+  FunctionSchedule Out;
+  Out.Blocks.reserve(F.numBlocks());
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    DependenceGraph G(F, B, Machine);
+    AugmentedPig APig(F, B, W, Machine);
+    Out.Blocks.push_back(scheduleBlockWithPig(F, B, APig, G, Machine));
+  }
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- core/PigScheduler.h - List scheduling off the augmented PIG -*- C++-*-=//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated use for the augmented parallelizable interference
+/// graph: "at each node v the edges {v,u} ∈ Ej ∩ E provide the list of
+/// available instructions (with v) as used in list scheduling
+/// algorithms such as [Gibbons-Muchnick]". This scheduler fills each
+/// cycle by first picking the most urgent ready instruction and then
+/// admitting only candidates that are Ef-adjacent to *every* instruction
+/// already placed in the cycle — the machine's co-issue relation read
+/// straight off the graph instead of re-deriving unit conflicts. On top
+/// of that filter the usual unit/width counters keep multi-unit classes
+/// honest (paper footnote 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_CORE_PIGSCHEDULER_H
+#define PIRA_CORE_PIGSCHEDULER_H
+
+#include "sched/Schedule.h"
+
+namespace pira {
+
+class AugmentedPig;
+class DependenceGraph;
+class Function;
+class MachineModel;
+
+/// Schedules block \p BlockIdx of symbolic-form \p F using \p APig's
+/// co-issue lists, with \p G supplying the precedence edges.
+BlockSchedule scheduleBlockWithPig(const Function &F, unsigned BlockIdx,
+                                   const AugmentedPig &APig,
+                                   const DependenceGraph &G,
+                                   const MachineModel &Machine);
+
+/// Convenience: schedules every block of \p F via the augmented PIG.
+FunctionSchedule scheduleFunctionWithPig(const Function &F,
+                                         const MachineModel &Machine);
+
+} // namespace pira
+
+#endif // PIRA_CORE_PIGSCHEDULER_H

@@ -1,0 +1,198 @@
+//===- core/RegionHoist.cpp - Joint scheduling of plausible blocks --------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionHoist.h"
+
+#include "analysis/Regions.h"
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+#include "support/BitMatrix.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace pira;
+
+namespace {
+
+/// Hoisting context for one acyclic control-equivalent chain.
+class ChainHoister {
+public:
+  ChainHoister(Function &F, const Webs &W,
+               const std::vector<unsigned> &Chain, const BitMatrix &Reach,
+               const std::map<Reg, unsigned> &WebsPerReg)
+      : F(F), W(W), Chain(Chain), Reach(Reach), WebsPerReg(WebsPerReg) {}
+
+  unsigned run() {
+    unsigned Head = Chain[0];
+    collectInterveningStores();
+
+    // Def sites already "at the head": everything originally in it.
+    for (unsigned I = 0, E = F.block(Head).size(); I != E; ++I)
+      AtHead.insert({Head, I});
+
+    // Arrays stored by instructions that stay behind, in region order.
+    // Walk the chain in order; an instruction can only hoist above
+    // non-hoisted code that precedes it, so we track stores that commit
+    // to staying (processed and not hoisted).
+    std::vector<std::pair<unsigned, unsigned>> ToHoist;
+    std::set<std::string> StoresStaying;
+    for (const Instruction &I : F.block(Head).instructions())
+      if (I.opcode() == Opcode::Store)
+        StoresStaying.insert(I.arraySymbol());
+
+    for (size_t Pos = 1; Pos != Chain.size(); ++Pos) {
+      unsigned B = Chain[Pos];
+      for (unsigned I = 0, E = F.block(B).size(); I != E; ++I) {
+        const Instruction &Inst = F.block(B).inst(I);
+        if (canHoist(B, I, Inst, StoresStaying)) {
+          ToHoist.emplace_back(B, I);
+          AtHead.insert({B, I});
+        } else if (Inst.opcode() == Opcode::Store) {
+          StoresStaying.insert(Inst.arraySymbol());
+        }
+      }
+    }
+    if (ToHoist.empty())
+      return 0;
+    materialize(Head, ToHoist);
+    return static_cast<unsigned>(ToHoist.size());
+  }
+
+private:
+  /// Stores in blocks lying on a path from the head to any chain member,
+  /// excluding the chain itself (diamond arms and the like).
+  void collectInterveningStores() {
+    std::set<unsigned> InChain(Chain.begin(), Chain.end());
+    unsigned Head = Chain[0];
+    for (unsigned P = 0, E = F.numBlocks(); P != E; ++P) {
+      if (InChain.count(P) || !Reach.test(Head, P))
+        continue;
+      bool ReachesChain = false;
+      for (unsigned B : Chain)
+        ReachesChain |= Reach.test(P, B);
+      if (!ReachesChain)
+        continue;
+      for (const Instruction &I : F.block(P).instructions())
+        if (I.opcode() == Opcode::Store)
+          InterveningStores.insert(I.arraySymbol());
+    }
+  }
+
+  bool canHoist(unsigned B, unsigned I, const Instruction &Inst,
+                const std::set<std::string> &StoresStaying) const {
+    if (Inst.isTerminator() || Inst.opcode() == Opcode::Store)
+      return false;
+    // Moving a definition earlier must not capture reads that belong to
+    // a *different* value held in the same symbolic register (diamond
+    // merges or the register's function-entry value). Airtight rule: the
+    // defined register must carry exactly one web in the whole function,
+    // single-def and without an entry definition.
+    if (Inst.hasDef()) {
+      unsigned DefWeb = W.webOfDef(B, I);
+      auto It = WebsPerReg.find(Inst.def());
+      if (It == WebsPerReg.end() || It->second != 1)
+        return false;
+      if (W.hasEntryDef(DefWeb) || W.defsOfWeb(DefWeb).size() != 1)
+        return false;
+    }
+    if (Inst.opcode() == Opcode::Load) {
+      const std::string &Array = Inst.arraySymbol();
+      if (StoresStaying.count(Array) || InterveningStores.count(Array))
+        return false;
+    }
+    // Every operand web fully available at the head.
+    for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+         Op != OE; ++Op) {
+      unsigned Web = W.webOfUse(B, I, Op);
+      for (const DefSite &D : W.defsOfWeb(Web))
+        if (!AtHead.count(D))
+          return false;
+    }
+    return true;
+  }
+
+  void materialize(unsigned Head,
+                   const std::vector<std::pair<unsigned, unsigned>> &Moves) {
+    // Group moved indices per source block for O(1) membership.
+    std::map<unsigned, std::set<unsigned>> MovedFrom;
+    for (const auto &[B, I] : Moves)
+      MovedFrom[B].insert(I);
+
+    // Collect the moved instructions in region order.
+    std::vector<Instruction> Hoisted;
+    for (size_t Pos = 1; Pos != Chain.size(); ++Pos) {
+      unsigned B = Chain[Pos];
+      auto It = MovedFrom.find(B);
+      if (It == MovedFrom.end())
+        continue;
+      for (unsigned I : It->second)
+        Hoisted.push_back(F.block(B).inst(I));
+      // Rebuild the source block without them.
+      std::vector<Instruction> Rest;
+      for (unsigned I = 0, E = F.block(B).size(); I != E; ++I)
+        if (!It->second.count(I))
+          Rest.push_back(F.block(B).inst(I));
+      F.block(B).instructions() = std::move(Rest);
+    }
+
+    // Insert before the head's terminator.
+    BasicBlock &HeadBB = F.block(Head);
+    assert(HeadBB.hasTerminator() && "chain head must end in a branch");
+    std::vector<Instruction> NewInsts(HeadBB.instructions().begin(),
+                                      HeadBB.instructions().end() - 1);
+    for (Instruction &I : Hoisted)
+      NewInsts.push_back(std::move(I));
+    NewInsts.push_back(HeadBB.instructions().back());
+    HeadBB.instructions() = std::move(NewInsts);
+  }
+
+  Function &F;
+  const Webs &W;
+  const std::vector<unsigned> &Chain;
+  const BitMatrix &Reach;
+  const std::map<Reg, unsigned> &WebsPerReg;
+  std::set<DefSite> AtHead;
+  std::set<std::string> InterveningStores;
+};
+
+} // namespace
+
+unsigned pira::regionHoist(Function &F) {
+  assert(!F.isAllocated() && "region hoisting runs on symbolic code");
+  RegionAnalysis RA(F);
+  Webs W(F);
+
+  // Full (back-edge-inclusive) reachability for cycle detection and the
+  // intervening-store barrier.
+  BitMatrix Reach(F.numBlocks());
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    for (unsigned S : F.block(B).successors())
+      Reach.set(B, S);
+  Reach.transitiveClosure();
+
+  std::map<Reg, unsigned> WebsPerReg;
+  for (unsigned Web = 0, E = W.numWebs(); Web != E; ++Web)
+    ++WebsPerReg[W.webRegister(Web)];
+
+  unsigned Moved = 0;
+  for (const std::vector<unsigned> &Chain : RA.regions()) {
+    if (Chain.size() < 2)
+      continue;
+    // Never cross a loop: every chain member must be off-cycle.
+    bool Acyclic = true;
+    for (unsigned B : Chain)
+      Acyclic &= !Reach.test(B, B);
+    if (!Acyclic)
+      continue;
+    Moved += ChainHoister(F, W, Chain, Reach, WebsPerReg).run();
+  }
+  return Moved;
+}

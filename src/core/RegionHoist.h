@@ -1,0 +1,43 @@
+//===- core/RegionHoist.h - Joint scheduling of plausible blocks *- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The motion half of the paper's region story: blocks that are
+/// "plausible for being scheduled together" (one dominates the other,
+/// the other postdominates the first) are scheduled "by logically
+/// ignoring the control dependence edges between [them]". This pass
+/// makes that concrete with conservative cross-block code motion: within
+/// each *acyclic* control-equivalent chain, instructions from dominated
+/// blocks are hoisted into the chain head when every data and memory
+/// constraint allows, handing the block-level list scheduler one larger
+/// window. Loops are never crossed (that would change execution counts —
+/// loop-invariant code motion is a different optimization).
+///
+/// Hoisting rules (all conservative):
+///   * never terminators, never stores;
+///   * every operand's web must have all of its definitions already in
+///     the chain head (originally or via hoisting) or at function entry;
+///   * a load is pinned by any store to the same array that stays
+///     behind it in region order, or that lives on an intervening path
+///     between the head and the load's home block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_CORE_REGIONHOIST_H
+#define PIRA_CORE_REGIONHOIST_H
+
+namespace pira {
+
+class Function;
+
+/// Applies region hoisting to symbolic-form \p F.
+/// \returns the number of instructions moved.
+unsigned regionHoist(Function &F);
+
+} // namespace pira
+
+#endif // PIRA_CORE_REGIONHOIST_H

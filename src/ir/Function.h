@@ -1,0 +1,205 @@
+//===- ir/Function.h - Basic blocks and control-flow graph ------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function is an entry block plus a control-flow graph of basic blocks.
+/// Register operands are symbolic (one register per value, an unbounded
+/// supply) until an allocator rewrites them to physical numbers; the
+/// NumRegs field tracks the name-space size either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_FUNCTION_H
+#define PIRA_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pira {
+
+/// A straight-line sequence of instructions ending in (at most) one
+/// terminator. Successor edges live on the terminator's target list.
+class BasicBlock {
+public:
+  BasicBlock() = default;
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  /// Returns the label of this block.
+  const std::string &name() const { return Name; }
+
+  /// Sets the label.
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// The instruction sequence (mutable).
+  std::vector<Instruction> &instructions() { return Insts; }
+
+  /// The instruction sequence.
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  /// Returns the number of instructions.
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+
+  /// Returns true when the block holds no instructions.
+  bool empty() const { return Insts.empty(); }
+
+  /// Returns instruction \p Idx.
+  const Instruction &inst(unsigned Idx) const {
+    assert(Idx < Insts.size() && "instruction index out of range");
+    return Insts[Idx];
+  }
+
+  /// Mutable access to instruction \p Idx.
+  Instruction &inst(unsigned Idx) {
+    assert(Idx < Insts.size() && "instruction index out of range");
+    return Insts[Idx];
+  }
+
+  /// Appends an instruction.
+  void append(Instruction I) { Insts.push_back(std::move(I)); }
+
+  /// Returns true if the final instruction is a terminator.
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Returns successor block indices (empty for Ret or missing terminator).
+  std::vector<unsigned> successors() const {
+    if (!hasTerminator())
+      return {};
+    return Insts.back().targets();
+  }
+
+private:
+  std::string Name;
+  std::vector<Instruction> Insts;
+};
+
+/// A named array backing loads and stores; sized in 64-bit elements.
+struct ArrayDecl {
+  std::string Name;
+  unsigned Size = 0;
+};
+
+/// A function: declared arrays, a register name space, and a CFG whose
+/// entry is block 0.
+class Function {
+public:
+  Function() = default;
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  /// Returns the function name.
+  const std::string &name() const { return Name; }
+
+  /// Sets the function name.
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Returns the number of registers in the name space (symbolic count
+  /// before allocation; physical count after).
+  unsigned numRegs() const { return NumRegs; }
+
+  /// Widens the register name space to at least \p N registers.
+  void setNumRegs(unsigned N) { NumRegs = N; }
+
+  /// Returns a fresh register number, growing the name space.
+  Reg makeReg() { return NumRegs++; }
+
+  /// True once an allocator has rewritten operands to physical registers.
+  bool isAllocated() const { return Allocated; }
+
+  /// Marks the function as using physical registers (affects printing).
+  void setAllocated(bool A) { Allocated = A; }
+
+  /// The blocks of the CFG; block 0 is the entry.
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+
+  /// The blocks of the CFG.
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Returns the number of blocks.
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// Returns block \p Idx.
+  const BasicBlock &block(unsigned Idx) const {
+    assert(Idx < Blocks.size() && "block index out of range");
+    return Blocks[Idx];
+  }
+
+  /// Mutable access to block \p Idx.
+  BasicBlock &block(unsigned Idx) {
+    assert(Idx < Blocks.size() && "block index out of range");
+    return Blocks[Idx];
+  }
+
+  /// Appends a new block with the given label and returns its index.
+  unsigned addBlock(std::string Label) {
+    Blocks.emplace_back(std::move(Label));
+    return numBlocks() - 1;
+  }
+
+  /// Returns the index of the block labeled \p Label, or -1 when absent.
+  int findBlock(const std::string &Label) const {
+    for (unsigned I = 0, E = numBlocks(); I != E; ++I)
+      if (Blocks[I].name() == Label)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Declared arrays in declaration order.
+  const std::vector<ArrayDecl> &arrays() const { return Arrays; }
+
+  /// Declares an array (or widens an existing one to \p Size).
+  void declareArray(const std::string &ArrName, unsigned Size) {
+    for (ArrayDecl &A : Arrays) {
+      if (A.Name != ArrName)
+        continue;
+      if (A.Size < Size)
+        A.Size = Size;
+      return;
+    }
+    Arrays.push_back({ArrName, Size});
+  }
+
+  /// Returns the declared size of \p ArrName, or 0 when undeclared.
+  unsigned arraySize(const std::string &ArrName) const {
+    for (const ArrayDecl &A : Arrays)
+      if (A.Name == ArrName)
+        return A.Size;
+    return 0;
+  }
+
+  /// Computes predecessor lists (indexed by block) from terminator targets.
+  std::vector<std::vector<unsigned>> predecessors() const {
+    std::vector<std::vector<unsigned>> Preds(numBlocks());
+    for (unsigned B = 0, E = numBlocks(); B != E; ++B)
+      for (unsigned Succ : Blocks[B].successors())
+        Preds[Succ].push_back(B);
+    return Preds;
+  }
+
+  /// Counts instructions over all blocks.
+  unsigned totalInstructions() const {
+    unsigned N = 0;
+    for (const BasicBlock &B : Blocks)
+      N += B.size();
+    return N;
+  }
+
+private:
+  std::string Name;
+  unsigned NumRegs = 0;
+  bool Allocated = false;
+  std::vector<BasicBlock> Blocks;
+  std::vector<ArrayDecl> Arrays;
+};
+
+} // namespace pira
+
+#endif // PIRA_IR_FUNCTION_H

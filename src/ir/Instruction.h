@@ -1,0 +1,127 @@
+//===- ir/Instruction.h - Register-based IR instruction ---------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One three-address instruction over symbolic or physical registers. The
+/// same representation is used before allocation (symbolic registers, one
+/// per value) and after (physical registers), matching the paper's setup in
+/// which allocation is a renaming of register operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_INSTRUCTION_H
+#define PIRA_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pira {
+
+/// Register number. Whether it denotes a symbolic or a physical register is
+/// a property of the enclosing Function.
+using Reg = unsigned;
+
+/// Sentinel meaning "no register".
+inline constexpr Reg NoReg = ~0u;
+
+/// One IR instruction.
+///
+/// Memory operands address a named array with an optional index register
+/// plus a constant offset: `load %d, A[%i + 4]`. A branch stores its target
+/// block indices in Targets.
+class Instruction {
+public:
+  Instruction() = default;
+
+  /// Builds an instruction from parts; prefer the IRBuilder helpers.
+  Instruction(Opcode Op, Reg Def, std::vector<Reg> Uses, int64_t Imm = 0)
+      : Op(Op), Def(Def), Uses(std::move(Uses)), Imm(Imm) {}
+
+  /// Returns the opcode.
+  Opcode opcode() const { return Op; }
+
+  /// Returns static metadata for the opcode.
+  const OpcodeInfo &info() const { return opcodeInfo(Op); }
+
+  /// Returns the defined register, or NoReg when the opcode defines none.
+  Reg def() const { return Def; }
+
+  /// Replaces the defined register.
+  void setDef(Reg R) {
+    assert(info().HasDef && "opcode has no def");
+    Def = R;
+  }
+
+  /// Returns the register operands read by the instruction. For Load this
+  /// is the optional index register; for Store, the stored value first and
+  /// then the optional index register.
+  const std::vector<Reg> &uses() const { return Uses; }
+
+  /// Replaces use operand \p Idx.
+  void setUse(unsigned Idx, Reg R) {
+    assert(Idx < Uses.size() && "use index out of range");
+    Uses[Idx] = R;
+  }
+
+  /// Returns the immediate (constant for LoadImm, address offset for
+  /// memory ops, zero otherwise).
+  int64_t imm() const { return Imm; }
+
+  /// Sets the immediate.
+  void setImm(int64_t V) { Imm = V; }
+
+  /// Returns the addressed array name (memory ops only).
+  const std::string &arraySymbol() const {
+    assert(info().IsMemory && "not a memory instruction");
+    return Array;
+  }
+
+  /// Sets the addressed array name.
+  void setArraySymbol(std::string Name) { Array = std::move(Name); }
+
+  /// Returns branch target block indices (terminators only).
+  const std::vector<unsigned> &targets() const { return Targets; }
+
+  /// Sets branch target block indices.
+  void setTargets(std::vector<unsigned> Blocks) {
+    Targets = std::move(Blocks);
+  }
+
+  /// Retargets branch target \p Idx to block \p NewBlock.
+  void setTarget(unsigned Idx, unsigned NewBlock) {
+    assert(Idx < Targets.size() && "target index out of range");
+    Targets[Idx] = NewBlock;
+  }
+
+  /// Returns true if this instruction ends a basic block.
+  bool isTerminator() const { return info().IsTerminator; }
+
+  /// Returns true for loads and stores.
+  bool isMemory() const { return info().IsMemory; }
+
+  /// Returns true if the instruction writes a register.
+  bool hasDef() const { return info().HasDef; }
+
+  /// Returns the functional-unit class executing this instruction.
+  UnitKind unit() const { return info().Unit; }
+
+private:
+  Opcode Op = Opcode::Ret;
+  Reg Def = NoReg;
+  std::vector<Reg> Uses;
+  int64_t Imm = 0;
+  std::string Array;
+  std::vector<unsigned> Targets;
+};
+
+} // namespace pira
+
+#endif // PIRA_IR_INSTRUCTION_H

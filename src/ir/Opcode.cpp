@@ -1,0 +1,65 @@
+//===- ir/Opcode.cpp - Opcode metadata table ------------------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace pira;
+
+const char *pira::unitKindName(UnitKind Kind) {
+  switch (Kind) {
+  case UnitKind::IntALU:
+    return "fixed";
+  case UnitKind::FPU:
+    return "float";
+  case UnitKind::Memory:
+    return "mem";
+  case UnitKind::Branch:
+    return "branch";
+  case UnitKind::Move:
+    return "move";
+  }
+  assert(false && "unknown unit kind");
+  return "?";
+}
+
+static const OpcodeInfo Table[NumOpcodes] = {
+    // Name, Unit, NumUses, HasDef, IsMemory, IsTerminator, DefaultLatency
+    {"li", UnitKind::Move, 0, true, false, false, 1},       // LoadImm
+    {"copy", UnitKind::Move, 1, true, false, false, 1},     // Copy
+    {"add", UnitKind::IntALU, 2, true, false, false, 1},    // Add
+    {"sub", UnitKind::IntALU, 2, true, false, false, 1},    // Sub
+    {"mul", UnitKind::IntALU, 2, true, false, false, 2},    // Mul
+    {"div", UnitKind::IntALU, 2, true, false, false, 8},    // Div
+    {"neg", UnitKind::IntALU, 1, true, false, false, 1},    // Neg
+    {"and", UnitKind::IntALU, 2, true, false, false, 1},    // And
+    {"or", UnitKind::IntALU, 2, true, false, false, 1},     // Or
+    {"xor", UnitKind::IntALU, 2, true, false, false, 1},    // Xor
+    {"shl", UnitKind::IntALU, 2, true, false, false, 1},    // Shl
+    {"shr", UnitKind::IntALU, 2, true, false, false, 1},    // Shr
+    {"cmpeq", UnitKind::IntALU, 2, true, false, false, 1},  // CmpEq
+    {"cmplt", UnitKind::IntALU, 2, true, false, false, 1},  // CmpLt
+    {"cmple", UnitKind::IntALU, 2, true, false, false, 1},  // CmpLe
+    {"fadd", UnitKind::FPU, 2, true, false, false, 2},      // FAdd
+    {"fsub", UnitKind::FPU, 2, true, false, false, 2},      // FSub
+    {"fmul", UnitKind::FPU, 2, true, false, false, 3},      // FMul
+    {"fdiv", UnitKind::FPU, 2, true, false, false, 12},     // FDiv
+    {"fneg", UnitKind::FPU, 1, true, false, false, 1},      // FNeg
+    {"fma", UnitKind::FPU, 3, true, false, false, 3},       // FMA
+    {"load", UnitKind::Memory, 1, true, true, false, 2},    // Load
+    {"store", UnitKind::Memory, 2, false, true, false, 1},  // Store
+    {"br", UnitKind::Branch, 0, false, false, true, 1},     // Br
+    {"cbr", UnitKind::Branch, 1, false, false, true, 1},    // CondBr
+    {"ret", UnitKind::Branch, 1, false, false, true, 1},    // Ret
+};
+
+const OpcodeInfo &pira::opcodeInfo(Opcode Op) {
+  unsigned Idx = static_cast<unsigned>(Op);
+  assert(Idx < NumOpcodes && "opcode out of range");
+  return Table[Idx];
+}

@@ -1,0 +1,104 @@
+//===- ir/Opcode.h - Opcode definitions and metadata ------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode set of the register-based intermediate code described in the
+/// paper's machine model: a RISC where memory is touched only by loads and
+/// stores, computation happens in registers, and every operation is routed
+/// to one functional-unit class (fixed point, floating point, memory/fetch,
+/// or branch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_OPCODE_H
+#define PIRA_IR_OPCODE_H
+
+namespace pira {
+
+/// Functional-unit classes of the superscalar machine model. The paper's
+/// examples use a fixed-point unit, a floating-point unit, a single
+/// fetching (memory) unit, and a branch unit (MIPS R3000 / IBM RS/6000
+/// style).
+enum class UnitKind : unsigned {
+  IntALU = 0, ///< Fixed-point arithmetic and logic.
+  FPU = 1,    ///< Floating-point arithmetic.
+  Memory = 2, ///< Load/store ("fetching") unit.
+  Branch = 3, ///< Control transfer unit.
+  Move = 4,   ///< Immediate materialization / register moves. Kept apart
+              ///< from IntALU because the paper's Example 1 relies on
+              ///< "s2 := i" co-issuing with fixed-point arithmetic:
+              ///< machines fold such moves or provide plural capacity.
+};
+
+/// Number of distinct UnitKind values.
+inline constexpr unsigned NumUnitKinds = 5;
+
+/// Returns a short printable name for \p Kind.
+const char *unitKindName(UnitKind Kind);
+
+/// Opcodes of the intermediate code.
+///
+/// Floating-point opcodes share integer arithmetic semantics in this
+/// reproduction (registers hold 64-bit integers); they exist to route work
+/// to the FPU unit class with FPU latencies, which is all the allocation /
+/// scheduling framework observes.
+enum class Opcode : unsigned {
+  // Fixed point.
+  LoadImm, ///< def = immediate constant.
+  Copy,    ///< def = use0.
+  Add,     ///< def = use0 + use1.
+  Sub,     ///< def = use0 - use1.
+  Mul,     ///< def = use0 * use1.
+  Div,     ///< def = use0 / use1 (0 when use1 == 0).
+  Neg,     ///< def = -use0.
+  And,     ///< def = use0 & use1.
+  Or,      ///< def = use0 | use1.
+  Xor,     ///< def = use0 ^ use1.
+  Shl,     ///< def = use0 << (use1 & 63).
+  Shr,     ///< def = use0 >> (use1 & 63) (arithmetic).
+  CmpEq,   ///< def = (use0 == use1) ? 1 : 0.
+  CmpLt,   ///< def = (use0 < use1) ? 1 : 0.
+  CmpLe,   ///< def = (use0 <= use1) ? 1 : 0.
+  // Floating point (FPU-routed; integer semantics, see above).
+  FAdd, ///< def = use0 + use1.
+  FSub, ///< def = use0 - use1.
+  FMul, ///< def = use0 * use1.
+  FDiv, ///< def = use0 / use1 (0 when use1 == 0).
+  FNeg, ///< def = -use0.
+  FMA,  ///< def = use0 * use1 + use2 (three-register multiply-add).
+  // Memory.
+  Load,  ///< def = Array[use0? + imm] (index register optional).
+  Store, ///< Array[use1? + imm] = use0 (index register is use1).
+  // Control.
+  Br,     ///< Unconditional branch to target block 0.
+  CondBr, ///< Branch to target 0 when use0 != 0, else target 1.
+  Ret,    ///< Return (optional use0 as the function result).
+};
+
+/// Number of distinct opcodes.
+inline constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Ret) + 1;
+
+/// Static metadata describing one opcode.
+struct OpcodeInfo {
+  const char *Name;      ///< Assembly mnemonic.
+  UnitKind Unit;         ///< Functional-unit class executing the op.
+  unsigned NumUses;      ///< Register operands read.
+  bool HasDef;           ///< Whether the op writes a register.
+  bool IsMemory;         ///< Load or store.
+  bool IsTerminator;     ///< Ends a basic block.
+  unsigned DefaultLatency; ///< Cycles from issue to result availability.
+};
+
+/// Returns the metadata record for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the mnemonic of \p Op (e.g. "fmul").
+inline const char *opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }
+
+} // namespace pira
+
+#endif // PIRA_IR_OPCODE_H

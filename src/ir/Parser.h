@@ -1,0 +1,34 @@
+//===- ir/Parser.h - Textual IR parser --------------------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR syntax emitted by the Printer. Used by tests (for
+/// round-trip checks and compact fixtures) and by examples that compile
+/// source written by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_PARSER_H
+#define PIRA_IR_PARSER_H
+
+#include <string>
+#include <string_view>
+
+namespace pira {
+
+class Function;
+
+/// Parses \p Text into \p F.
+///
+/// On failure returns false and stores a "line N: message" diagnostic into
+/// \p Error; \p F is left in an unspecified state. On success \p F holds
+/// the parsed function and Error is empty.
+bool parseFunction(std::string_view Text, Function &F, std::string &Error);
+
+} // namespace pira
+
+#endif // PIRA_IR_PARSER_H

@@ -1,0 +1,111 @@
+//===- ir/Printer.cpp - Textual IR emission -------------------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace pira;
+
+static std::string regName(Reg R, bool Physical) {
+  assert(R != NoReg && "printing the null register");
+  return (Physical ? "%r" : "%s") + std::to_string(R);
+}
+
+static std::string targetName(const Function *F, unsigned Block) {
+  // Tolerate out-of-range targets: this printer also renders invalid IR
+  // inside verifier diagnostics.
+  if (F == nullptr || Block >= F->numBlocks())
+    return "bb" + std::to_string(Block);
+  return F->block(Block).name();
+}
+
+/// Formats the `A[%i + 4]` address form; omits a zero offset and a missing
+/// index register.
+static void printAddress(std::ostringstream &OS, const Instruction &I,
+                         Reg Index, bool Physical) {
+  OS << I.arraySymbol() << '[';
+  if (Index != NoReg) {
+    OS << regName(Index, Physical);
+    if (I.imm() != 0)
+      OS << " + " << I.imm();
+  } else {
+    OS << I.imm();
+  }
+  OS << ']';
+}
+
+std::string pira::formatInstruction(const Instruction &I, bool Physical,
+                                    const Function *F) {
+  std::ostringstream OS;
+  if (I.hasDef())
+    OS << regName(I.def(), Physical) << " = ";
+  OS << opcodeName(I.opcode());
+
+  switch (I.opcode()) {
+  case Opcode::LoadImm:
+    OS << ' ' << I.imm();
+    break;
+  case Opcode::Load: {
+    Reg Index = I.uses().empty() ? NoReg : I.uses()[0];
+    OS << ' ';
+    printAddress(OS, I, Index, Physical);
+    break;
+  }
+  case Opcode::Store: {
+    Reg Index = I.uses().size() > 1 ? I.uses()[1] : NoReg;
+    OS << ' ';
+    printAddress(OS, I, Index, Physical);
+    OS << ", " << regName(I.uses()[0], Physical);
+    break;
+  }
+  case Opcode::Br:
+    OS << ' ' << targetName(F, I.targets()[0]);
+    break;
+  case Opcode::CondBr:
+    OS << ' ' << regName(I.uses()[0], Physical) << ", "
+       << targetName(F, I.targets()[0]) << ", "
+       << targetName(F, I.targets()[1]);
+    break;
+  case Opcode::Ret:
+    if (!I.uses().empty())
+      OS << ' ' << regName(I.uses()[0], Physical);
+    break;
+  default: {
+    // Plain register-operand opcodes.
+    const char *Sep = " ";
+    for (Reg U : I.uses()) {
+      OS << Sep << regName(U, Physical);
+      Sep = ", ";
+    }
+    break;
+  }
+  }
+  return OS.str();
+}
+
+void pira::printFunction(const Function &F, std::ostream &OS) {
+  OS << "func @" << F.name() << " regs " << F.numRegs()
+     << (F.isAllocated() ? " physical" : "") << " {\n";
+  for (const ArrayDecl &A : F.arrays())
+    OS << "  array " << A.Name << ' ' << A.Size << '\n';
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    OS << "block " << F.block(B).name() << ":\n";
+    for (const Instruction &I : F.block(B).instructions())
+      OS << "  " << formatInstruction(I, F.isAllocated(), &F) << '\n';
+  }
+  OS << "}\n";
+}
+
+std::string pira::functionToString(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}

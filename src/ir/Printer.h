@@ -1,0 +1,40 @@
+//===- ir/Printer.h - Textual IR emission -----------------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints functions and instructions in the textual IR syntax accepted by
+/// the Parser (round-trippable). Symbolic registers print as %sN and
+/// physical registers as %rN, mirroring the paper's `si` / `ri` notation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_PRINTER_H
+#define PIRA_IR_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+namespace pira {
+
+class Function;
+class Instruction;
+
+/// Renders one instruction (no trailing newline). \p Physical selects the
+/// register spelling; \p F provides block labels for branch targets and may
+/// be null when the instruction has no targets.
+std::string formatInstruction(const Instruction &I, bool Physical,
+                              const Function *F);
+
+/// Prints \p F in full textual syntax to \p OS.
+void printFunction(const Function &F, std::ostream &OS);
+
+/// Returns printFunction output as a string.
+std::string functionToString(const Function &F);
+
+} // namespace pira
+
+#endif // PIRA_IR_PRINTER_H

@@ -1,0 +1,131 @@
+//===- ir/Verifier.cpp - Structural IR validation -------------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Function.h"
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace pira;
+
+namespace {
+
+/// Accumulates context for error messages.
+class Checker {
+public:
+  Checker(const Function &F, std::string &Error) : F(F), Error(Error) {}
+
+  bool run() {
+    if (F.numBlocks() == 0)
+      return fail(0, 0, "function has no blocks");
+    for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+      if (!checkBlock(B))
+        return false;
+    return true;
+  }
+
+private:
+  bool fail(unsigned Block, unsigned Inst, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "function @" << F.name();
+    if (Block < F.numBlocks()) {
+      OS << ", block " << F.block(Block).name();
+      if (Inst < F.block(Block).size())
+        OS << ", inst " << Inst << " ("
+           << formatInstruction(F.block(Block).inst(Inst), F.isAllocated(),
+                                &F)
+           << ")";
+    }
+    OS << ": " << Msg;
+    Error = OS.str();
+    return false;
+  }
+
+  bool checkReg(unsigned B, unsigned I, Reg R) {
+    if (R < F.numRegs())
+      return true;
+    return fail(B, I,
+                "register " + std::to_string(R) +
+                    " outside declared space of " +
+                    std::to_string(F.numRegs()));
+  }
+
+  bool checkBlock(unsigned B) {
+    const BasicBlock &BB = F.block(B);
+    if (BB.empty())
+      return fail(B, 0, "empty block");
+    if (!BB.hasTerminator())
+      return fail(B, BB.size() - 1, "block does not end in a terminator");
+    for (unsigned I = 0, E = BB.size(); I != E; ++I)
+      if (!checkInst(B, I))
+        return false;
+    return true;
+  }
+
+  bool checkInst(unsigned B, unsigned I) {
+    const Instruction &Inst = F.block(B).inst(I);
+    const OpcodeInfo &Info = Inst.info();
+
+    if (Inst.isTerminator() && I + 1 != F.block(B).size())
+      return fail(B, I, "terminator in the middle of a block");
+
+    if (Info.HasDef) {
+      if (Inst.def() == NoReg)
+        return fail(B, I, "missing result register");
+      if (!checkReg(B, I, Inst.def()))
+        return false;
+    } else if (Inst.def() != NoReg) {
+      return fail(B, I, "unexpected result register");
+    }
+
+    // Load's index and Ret's value are optional; Store's index is optional
+    // beyond the mandatory stored value.
+    unsigned MinUses = Info.NumUses;
+    if (Inst.opcode() == Opcode::Load || Inst.opcode() == Opcode::Ret)
+      MinUses = 0;
+    else if (Inst.opcode() == Opcode::Store)
+      MinUses = 1;
+    if (Inst.uses().size() < MinUses || Inst.uses().size() > Info.NumUses)
+      return fail(B, I, "wrong number of register operands");
+    for (Reg U : Inst.uses())
+      if (!checkReg(B, I, U))
+        return false;
+
+    if (Inst.isMemory()) {
+      if (Inst.arraySymbol().empty())
+        return fail(B, I, "memory instruction without an array symbol");
+      unsigned Size = F.arraySize(Inst.arraySymbol());
+      bool Direct = Inst.opcode() == Opcode::Load ? Inst.uses().empty()
+                                                  : Inst.uses().size() == 1;
+      if (Direct && Size != 0 &&
+          (Inst.imm() < 0 || Inst.imm() >= static_cast<int64_t>(Size)))
+        return fail(B, I, "constant address out of declared array bounds");
+    }
+
+    for (unsigned T : Inst.targets())
+      if (T >= F.numBlocks())
+        return fail(B, I, "branch target out of range");
+    unsigned WantTargets = Inst.opcode() == Opcode::Br      ? 1
+                           : Inst.opcode() == Opcode::CondBr ? 2
+                                                             : 0;
+    if (Inst.targets().size() != WantTargets)
+      return fail(B, I, "wrong number of branch targets");
+    return true;
+  }
+
+  const Function &F;
+  std::string &Error;
+};
+
+} // namespace
+
+bool pira::verifyFunction(const Function &F, std::string &Error) {
+  Error.clear();
+  return Checker(F, Error).run();
+}

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - Structural IR validation -----------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks run by tests and pipeline entry
+/// points: register numbers inside the declared space, terminators only
+/// and always at block ends, valid branch targets, declared arrays, and
+/// in-bounds constant addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_IR_VERIFIER_H
+#define PIRA_IR_VERIFIER_H
+
+#include <string>
+
+namespace pira {
+
+class Function;
+
+/// Checks \p F for structural validity.
+///
+/// \returns true when well-formed; otherwise false with a diagnostic in
+/// \p Error describing the first violation found.
+bool verifyFunction(const Function &F, std::string &Error);
+
+} // namespace pira
+
+#endif // PIRA_IR_VERIFIER_H

@@ -1,0 +1,55 @@
+//===- machine/MachineModel.cpp - Superscalar machine description ---------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineModel.h"
+
+using namespace pira;
+
+MachineModel::MachineModel(std::string Name,
+                           std::array<unsigned, NumUnitKinds> UnitCounts,
+                           unsigned IssueWidth, unsigned NumPhysRegs)
+    : Name(std::move(Name)), UnitCounts(UnitCounts), IssueWidth(IssueWidth),
+      NumPhysRegs(NumPhysRegs) {
+  assert(IssueWidth >= 1 && "machine must issue at least one instruction");
+  for (unsigned I = 0; I != NumOpcodes; ++I)
+    Latencies[I] = opcodeInfo(static_cast<Opcode>(I)).DefaultLatency;
+}
+
+void MachineModel::setUniformLatency(unsigned Cycles) {
+  assert(Cycles >= 1 && "latency must be at least one cycle");
+  for (unsigned &L : Latencies)
+    L = Cycles;
+}
+
+MachineModel MachineModel::scalar(unsigned Regs) {
+  return MachineModel("scalar", {1, 1, 1, 1, 1}, /*IssueWidth=*/1, Regs);
+}
+
+MachineModel MachineModel::paperTwoUnit(unsigned Regs) {
+  MachineModel M("paper-two-unit", {1, 1, 1, 1, 2}, /*IssueWidth=*/4,
+                 Regs);
+  M.setUniformLatency(1);
+  return M;
+}
+
+MachineModel MachineModel::mipsR3000(unsigned Regs) {
+  return MachineModel("mips-r3000", {1, 1, 1, 1, 1}, /*IssueWidth=*/2,
+                      Regs);
+}
+
+MachineModel MachineModel::rs6000(unsigned Regs) {
+  MachineModel M("rs6000", {1, 1, 1, 1, 2}, /*IssueWidth=*/3, Regs);
+  M.setLatency(Opcode::FAdd, 2);
+  M.setLatency(Opcode::FMul, 2);
+  M.setLatency(Opcode::FMA, 2);
+  M.setLatency(Opcode::Load, 2);
+  return M;
+}
+
+MachineModel MachineModel::vliw4(unsigned Regs) {
+  return MachineModel("vliw4", {2, 1, 2, 1, 2}, /*IssueWidth=*/4, Regs);
+}

@@ -1,0 +1,111 @@
+//===- machine/MachineModel.h - Superscalar machine description -*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's machine model: a RISC processor comprising a collection of
+/// functional units that can each execute one instruction per cycle, a
+/// bounded issue width, a finite register file, and per-opcode latencies.
+/// Preset factories cover the machines the paper names (a single-issue
+/// pipeline, the Example-2 two-arithmetic-unit machine, MIPS R3000 and IBM
+/// RS/6000 style three-unit superscalars) plus a wider VLIW-ish design for
+/// sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_MACHINE_MACHINEMODEL_H
+#define PIRA_MACHINE_MACHINEMODEL_H
+
+#include "ir/Opcode.h"
+
+#include <array>
+#include <cassert>
+#include <string>
+
+namespace pira {
+
+/// A parameterized in-order superscalar machine.
+class MachineModel {
+public:
+  /// Builds a machine with \p UnitCounts functional units per class, issue
+  /// width \p IssueWidth, and \p NumPhysRegs allocatable registers.
+  /// Latencies start from each opcode's default.
+  MachineModel(std::string Name,
+               std::array<unsigned, NumUnitKinds> UnitCounts,
+               unsigned IssueWidth, unsigned NumPhysRegs);
+
+  /// Returns the model's display name.
+  const std::string &name() const { return Name; }
+
+  /// Returns the number of functional units of class \p Kind.
+  unsigned units(UnitKind Kind) const {
+    return UnitCounts[static_cast<unsigned>(Kind)];
+  }
+
+  /// Returns the maximum number of instructions issued per cycle.
+  unsigned issueWidth() const { return IssueWidth; }
+
+  /// Returns the number of allocatable physical registers.
+  unsigned numPhysRegs() const { return NumPhysRegs; }
+
+  /// Overrides the register-file size (used by register-count sweeps).
+  void setNumPhysRegs(unsigned N) { NumPhysRegs = N; }
+
+  /// Returns the issue-to-result latency of \p Op in cycles (at least 1).
+  unsigned latency(Opcode Op) const {
+    return Latencies[static_cast<unsigned>(Op)];
+  }
+
+  /// Overrides the latency of one opcode.
+  void setLatency(Opcode Op, unsigned Cycles) {
+    assert(Cycles >= 1 && "latency must be at least one cycle");
+    Latencies[static_cast<unsigned>(Op)] = Cycles;
+  }
+
+  /// Sets every opcode's latency to \p Cycles (the paper's examples reason
+  /// in unit latencies).
+  void setUniformLatency(unsigned Cycles);
+
+  /// True when at most one instruction of \p Kind can issue per cycle; the
+  /// paper represents exactly these contentions as pairwise machine
+  /// constraint edges.
+  bool isSingleUnit(UnitKind Kind) const { return units(Kind) == 1; }
+
+  /// \name Preset machines
+  /// @{
+
+  /// Single-issue pipelined uniprocessor (one unit of each class, width 1).
+  static MachineModel scalar(unsigned Regs = 8);
+
+  /// The machine of the paper's Example 2: one fixed-point and one
+  /// floating-point arithmetic unit plus a single fetching (memory) unit,
+  /// unit latencies throughout so "scheduled together" means same cycle.
+  static MachineModel paperTwoUnit(unsigned Regs = 8);
+
+  /// MIPS R3000 flavor: single-issue-per-class, realistic latencies.
+  static MachineModel mipsR3000(unsigned Regs = 16);
+
+  /// IBM RISC System/6000 flavor: fixed, float and branch units issuing
+  /// concurrently, realistic latencies.
+  static MachineModel rs6000(unsigned Regs = 16);
+
+  /// A 4-wide machine with doubled integer and memory units, for sweeps
+  /// exercising the multi-unit (footnote 3) path.
+  static MachineModel vliw4(unsigned Regs = 16);
+
+  /// @}
+
+private:
+  std::string Name;
+  std::array<unsigned, NumUnitKinds> UnitCounts;
+  unsigned IssueWidth;
+  unsigned NumPhysRegs;
+  std::array<unsigned, NumOpcodes> Latencies;
+};
+
+} // namespace pira
+
+#endif // PIRA_MACHINE_MACHINEMODEL_H

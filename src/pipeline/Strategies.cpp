@@ -1,0 +1,189 @@
+//===- pipeline/Strategies.cpp - Phase-ordering strategies ----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Strategies.h"
+
+#include "core/FalseDepChecker.h"
+#include "ir/Verifier.h"
+#include "machine/MachineModel.h"
+#include "regalloc/ChaitinAllocator.h"
+#include "sched/ListScheduler.h"
+#include "sched/IntegratedPrepass.h"
+#include "sched/PreScheduler.h"
+#include "sim/SuperscalarSim.h"
+
+#include <cassert>
+
+using namespace pira;
+
+const char *pira::strategyName(StrategyKind Kind) {
+  switch (Kind) {
+  case StrategyKind::AllocFirst:
+    return "alloc-first";
+  case StrategyKind::SchedFirst:
+    return "sched-first";
+  case StrategyKind::IntegratedPrepass:
+    return "goodman-hsu-ips";
+  case StrategyKind::Combined:
+    return "combined";
+  }
+  assert(false && "unknown strategy");
+  return "?";
+}
+
+/// Shared tail: schedule the allocated code, count false dependences,
+/// verify structure.
+static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
+  std::string VerifyError;
+  if (!verifyFunction(R.Final, VerifyError)) {
+    R.Success = false;
+    R.Error = "final code fails verification: " + VerifyError;
+    return;
+  }
+  R.Sched = scheduleFunction(R.Final, Machine);
+  R.StaticCycles = R.Sched.totalMakespan();
+  R.FalseDeps = static_cast<unsigned>(
+      findFalseDependences(R.SymbolicTwin, R.Final, Machine).size());
+  R.AntiOrderingLosses =
+      countAntiOrderingLosses(R.SymbolicTwin, R.Final, Machine);
+}
+
+PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
+                                 const MachineModel &Machine,
+                                 const PinterOptions &Opts) {
+  assert(!Input.isAllocated() && "strategies start from symbolic code");
+  PipelineResult R;
+  R.Final = Input;
+  unsigned K = Machine.numPhysRegs();
+
+  switch (Kind) {
+  case StrategyKind::AllocFirst: {
+    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
+                                       &R.SymbolicTwin);
+    if (!Stats.Success) {
+      R.Error = "chaitin allocation did not converge";
+      return R;
+    }
+    R.Success = true;
+    R.RegistersUsed = Stats.ColorsUsed;
+    R.SpilledWebs = Stats.SpilledWebs;
+    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
+    break;
+  }
+  case StrategyKind::SchedFirst: {
+    // Aggressive pre-pass: order each block exactly as the list scheduler
+    // would issue it with unlimited registers, then allocate on the
+    // stretched live ranges, then re-schedule the allocated code.
+    preScheduleFunction(R.Final, Machine);
+    FunctionSchedule Pre = scheduleFunction(R.Final, Machine);
+    for (unsigned B = 0, E = R.Final.numBlocks(); B != E; ++B)
+      reorderBlockBySchedule(R.Final, B, Pre.Blocks[B]);
+    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
+                                       &R.SymbolicTwin);
+    if (!Stats.Success) {
+      R.Error = "chaitin allocation did not converge";
+      return R;
+    }
+    R.Success = true;
+    R.RegistersUsed = Stats.ColorsUsed;
+    R.SpilledWebs = Stats.SpilledWebs;
+    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
+    break;
+  }
+  case StrategyKind::IntegratedPrepass: {
+    // Goodman-Hsu: pressure-aware prepass ordering, then Chaitin.
+    integratedPrepassSchedule(R.Final, Machine, K);
+    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
+                                       &R.SymbolicTwin);
+    if (!Stats.Success) {
+      R.Error = "chaitin allocation did not converge";
+      return R;
+    }
+    R.Success = true;
+    R.RegistersUsed = Stats.ColorsUsed;
+    R.SpilledWebs = Stats.SpilledWebs;
+    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
+    break;
+  }
+  case StrategyKind::Combined: {
+    PinterStats Stats =
+        pinterAllocate(R.Final, K, Machine, Opts, &R.SymbolicTwin);
+    if (!Stats.Success) {
+      R.Error = "combined allocation did not converge";
+      return R;
+    }
+    R.Success = true;
+    R.RegistersUsed = Stats.ColorsUsed;
+    R.SpilledWebs = Stats.SpilledWebs;
+    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
+    R.ParallelEdgesDropped = Stats.ParallelEdgesDropped;
+    break;
+  }
+  }
+
+  finishPipeline(R, Machine);
+  return R;
+}
+
+PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
+                                   const MachineModel &Machine,
+                                   const PinterOptions &Opts,
+                                   uint64_t Seed) {
+  PipelineResult R = runStrategy(Kind, Input, Machine, Opts);
+  if (!R.Success)
+    return R;
+
+  // Ground truth: sequential interpretation of the *input* code.
+  ExecState Initial = makeInitialState(Input, Seed);
+  ExecResult Ref = interpret(Input, Initial);
+  if (!Ref.Completed) {
+    R.Success = false;
+    R.Error = "reference interpretation failed: " + Ref.Error;
+    return R;
+  }
+
+  // The final code touches the same arrays plus spillmem; build its
+  // initial state from the same seed (same array contents for shared
+  // arrays, spillmem zeroed).
+  ExecState SimInitial = makeInitialState(R.Final, Seed);
+  for (auto &[Name, Data] : SimInitial.Arrays) {
+    auto It = Initial.Arrays.find(Name);
+    if (It != Initial.Arrays.end())
+      Data = It->second;
+    else
+      Data.assign(Data.size(), 0); // spill memory starts cold
+  }
+
+  SimResult Sim = simulate(R.Final, R.Sched, Machine, std::move(SimInitial));
+  if (!Sim.Completed) {
+    R.Success = false;
+    R.Error = "simulation failed: " + Sim.Error;
+    return R;
+  }
+  R.DynCycles = Sim.Cycles;
+  R.DynInstructions = Sim.Instructions;
+
+  // Observable outputs: every array of the original program, plus the
+  // returned value.
+  bool ArraysMatch = true;
+  for (const auto &[Name, Data] : Ref.Final.Arrays) {
+    auto It = Sim.Final.Arrays.find(Name);
+    if (It == Sim.Final.Arrays.end() || It->second != Data) {
+      ArraysMatch = false;
+      break;
+    }
+  }
+  R.SemanticsPreserved = ArraysMatch &&
+                         Ref.HasReturnValue == Sim.HasReturnValue &&
+                         (!Ref.HasReturnValue ||
+                          Ref.ReturnValue == Sim.ReturnValue);
+  if (!R.SemanticsPreserved) {
+    R.Success = false;
+    R.Error = "semantics diverged from the sequential reference";
+  }
+  return R;
+}

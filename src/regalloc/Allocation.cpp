@@ -1,0 +1,68 @@
+//===- regalloc/Allocation.cpp - Coloring results and rewriting -----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Allocation.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+#include "support/UndirectedGraph.h"
+
+#include <cassert>
+
+using namespace pira;
+
+void pira::assignColorsGreedy(const UndirectedGraph &G,
+                              const std::vector<unsigned> &Stack,
+                              Allocation &Out) {
+  for (auto It = Stack.rbegin(), E = Stack.rend(); It != E; ++It) {
+    unsigned V = *It;
+    const BitVector &Neigh = G.neighbors(V);
+    std::vector<bool> Used;
+    for (int N = Neigh.findFirst(); N != -1;
+         N = Neigh.findNext(static_cast<unsigned>(N))) {
+      int C = Out.ColorOfWeb[static_cast<unsigned>(N)];
+      if (C < 0)
+        continue;
+      if (Used.size() <= static_cast<size_t>(C))
+        Used.resize(static_cast<size_t>(C) + 1, false);
+      Used[static_cast<size_t>(C)] = true;
+    }
+    unsigned Color = 0;
+    while (Color < Used.size() && Used[Color])
+      ++Color;
+    Out.ColorOfWeb[V] = static_cast<int>(Color);
+    Out.NumColorsUsed = std::max(Out.NumColorsUsed, Color + 1);
+  }
+}
+
+void pira::applyAllocation(Function &F, const Webs &W, const Allocation &A) {
+  assert(A.ColorOfWeb.size() == W.numWebs() && "stale allocation");
+  unsigned MaxColor = 0;
+  for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
+    BasicBlock &BB = F.block(B);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      Instruction &Inst = BB.inst(I);
+      // Rewrite uses before the def: webOfUse indexes the pre-rewrite
+      // operand list, which setUse leaves structurally intact.
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        int Color = A.ColorOfWeb[W.webOfUse(B, I, Op)];
+        assert(Color >= 0 && "applying an allocation with spilled webs");
+        Inst.setUse(Op, static_cast<Reg>(Color));
+        MaxColor = std::max(MaxColor, static_cast<unsigned>(Color));
+      }
+      if (Inst.hasDef()) {
+        int Color = A.ColorOfWeb[W.webOfDef(B, I)];
+        assert(Color >= 0 && "applying an allocation with spilled webs");
+        Inst.setDef(static_cast<Reg>(Color));
+        MaxColor = std::max(MaxColor, static_cast<unsigned>(Color));
+      }
+    }
+  }
+  F.setAllocated(true);
+  F.setNumRegs(F.totalInstructions() == 0 ? 0 : MaxColor + 1);
+}

@@ -1,0 +1,190 @@
+//===- regalloc/ChaitinAllocator.cpp - Baseline graph coloring ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/ChaitinAllocator.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/SpillCost.h"
+#include "regalloc/SpillInserter.h"
+#include "support/UndirectedGraph.h"
+
+#include <cassert>
+#include <limits>
+#include <set>
+
+using namespace pira;
+
+Allocation pira::chaitinColor(const UndirectedGraph &G,
+                              const std::vector<double> &Costs,
+                              unsigned NumRegs) {
+  unsigned N = G.numVertices();
+  assert(Costs.size() == N && "cost vector size mismatch");
+  Allocation Out;
+  Out.ColorOfWeb.assign(N, -1);
+
+  UndirectedGraph Work = G;
+  std::vector<bool> Removed(N, false);
+  std::vector<unsigned> Stack;
+  unsigned Remaining = N;
+
+  auto RemoveVertex = [&](unsigned V) {
+    for (unsigned Neigh : Work.neighborList(V))
+      Work.removeEdge(V, Neigh);
+    Removed[V] = true;
+    --Remaining;
+  };
+
+  while (Remaining != 0) {
+    // Simplify: peel vertices with degree below the register budget.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (unsigned V = 0; V != N; ++V) {
+        if (Removed[V] || Work.degree(V) >= NumRegs)
+          continue;
+        Stack.push_back(V);
+        RemoveVertex(V);
+        Progress = true;
+      }
+    }
+    if (Remaining == 0)
+      break;
+
+    // Stuck: every survivor has degree >= r. Place the cheapest
+    // cost/degree vertex on the spill list (the paper's h function).
+    unsigned Victim = ~0u;
+    double BestH = std::numeric_limits<double>::infinity();
+    for (unsigned V = 0; V != N; ++V) {
+      if (Removed[V])
+        continue;
+      double H = Costs[V] / static_cast<double>(Work.degree(V));
+      // The first survivor seeds the choice so a round of all-infinite
+      // costs still makes progress.
+      if (Victim == ~0u || H < BestH) {
+        BestH = H;
+        Victim = V;
+      }
+    }
+    assert(Victim != ~0u && "no spill candidate among survivors");
+    Out.SpilledWebs.push_back(Victim);
+    RemoveVertex(Victim);
+  }
+
+  if (Out.SpilledWebs.empty())
+    assignColorsGreedy(G, Stack, Out);
+  return Out;
+}
+
+Allocation pira::briggsColor(const UndirectedGraph &G,
+                             const std::vector<double> &Costs,
+                             unsigned NumRegs) {
+  unsigned N = G.numVertices();
+  assert(Costs.size() == N && "cost vector size mismatch");
+  Allocation Out;
+  Out.ColorOfWeb.assign(N, -1);
+
+  UndirectedGraph Work = G;
+  std::vector<bool> Removed(N, false);
+  std::vector<unsigned> Stack;
+  unsigned Remaining = N;
+  auto RemoveVertex = [&](unsigned V) {
+    for (unsigned Neigh : Work.neighborList(V))
+      Work.removeEdge(V, Neigh);
+    Removed[V] = true;
+    --Remaining;
+  };
+
+  while (Remaining != 0) {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (unsigned V = 0; V != N; ++V) {
+        if (Removed[V] || Work.degree(V) >= NumRegs)
+          continue;
+        Stack.push_back(V);
+        RemoveVertex(V);
+        Progress = true;
+      }
+    }
+    if (Remaining == 0)
+      break;
+    // Optimistic twist: the would-be spill victim is pushed like any
+    // other vertex; select decides its fate.
+    unsigned Victim = ~0u;
+    double BestH = std::numeric_limits<double>::infinity();
+    for (unsigned V = 0; V != N; ++V) {
+      if (Removed[V])
+        continue;
+      double H = Costs[V] / static_cast<double>(Work.degree(V));
+      if (Victim == ~0u || H < BestH) {
+        BestH = H;
+        Victim = V;
+      }
+    }
+    Stack.push_back(Victim);
+    RemoveVertex(Victim);
+  }
+
+  // Capped select: a vertex whose neighbors exhaust the register file
+  // becomes an actual spill.
+  for (auto It = Stack.rbegin(), E = Stack.rend(); It != E; ++It) {
+    unsigned V = *It;
+    std::vector<bool> Used(NumRegs, false);
+    const BitVector &Neigh = G.neighbors(V);
+    for (int Nb = Neigh.findFirst(); Nb != -1;
+         Nb = Neigh.findNext(static_cast<unsigned>(Nb))) {
+      int C = Out.ColorOfWeb[static_cast<unsigned>(Nb)];
+      if (C >= 0 && static_cast<unsigned>(C) < NumRegs)
+        Used[static_cast<unsigned>(C)] = true;
+    }
+    unsigned Color = 0;
+    while (Color < NumRegs && Used[Color])
+      ++Color;
+    if (Color == NumRegs) {
+      Out.SpilledWebs.push_back(V);
+      continue;
+    }
+    Out.ColorOfWeb[V] = static_cast<int>(Color);
+    Out.NumColorsUsed = std::max(Out.NumColorsUsed, Color + 1);
+  }
+  return Out;
+}
+
+AllocStats pira::chaitinAllocate(Function &F, unsigned NumRegs,
+                                 unsigned MaxRounds,
+                                 Function *SymbolicSnapshot) {
+  AllocStats Stats;
+  std::set<Reg> NoSpillRegs;
+  constexpr double Infinite = std::numeric_limits<double>::infinity();
+
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    ++Stats.Rounds;
+    Webs W(F);
+    InterferenceGraph IG(F, W);
+    std::vector<double> Costs = computeSpillCosts(F, W);
+    for (unsigned Web = 0, E = W.numWebs(); Web != E; ++Web)
+      if (NoSpillRegs.count(W.webRegister(Web)))
+        Costs[Web] = Infinite;
+
+    Allocation A = chaitinColor(IG.graph(), Costs, NumRegs);
+    if (A.fullyColored()) {
+      if (SymbolicSnapshot != nullptr)
+        *SymbolicSnapshot = F;
+      applyAllocation(F, W, A);
+      Stats.Success = true;
+      Stats.ColorsUsed = A.NumColorsUsed;
+      return Stats;
+    }
+    Stats.SpilledWebs += static_cast<unsigned>(A.SpilledWebs.size());
+    SpillCode Code = insertSpillCode(F, W, A.SpilledWebs, NoSpillRegs);
+    Stats.SpillStores += Code.Stores;
+    Stats.SpillLoads += Code.Loads;
+  }
+  return Stats;
+}

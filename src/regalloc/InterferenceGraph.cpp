@@ -1,0 +1,96 @@
+//===- regalloc/InterferenceGraph.cpp - Live-range interference -----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/InterferenceGraph.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace pira;
+
+InterferenceGraph::InterferenceGraph(const Function &F, const Webs &W) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumWebs = W.numWebs();
+  Graph = UndirectedGraph(NumWebs);
+
+  // Web-granularity liveness. The web binding already resolves which
+  // definition(s) feed each use, so block-local Use/Def sets over webs
+  // give exact may-liveness at web level.
+  std::vector<BitVector> UseW(NumBlocks, BitVector(NumWebs));
+  std::vector<BitVector> DefW(NumBlocks, BitVector(NumWebs));
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      const Instruction &Inst = BB.inst(I);
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        unsigned Web = W.webOfUse(B, I, Op);
+        if (!DefW[B].test(Web))
+          UseW[B].set(Web);
+      }
+      if (Inst.hasDef())
+        DefW[B].set(W.webOfDef(B, I));
+    }
+  }
+
+  LiveInW.assign(NumBlocks, BitVector(NumWebs));
+  LiveOutW.assign(NumBlocks, BitVector(NumWebs));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = NumBlocks; B-- != 0;) {
+      BitVector Out(NumWebs);
+      for (unsigned Succ : F.block(B).successors())
+        Out.unionWith(LiveInW[Succ]);
+      BitVector In = Out;
+      In.subtract(DefW[B]);
+      In.unionWith(UseW[B]);
+      if (Out != LiveOutW[B] || In != LiveInW[B]) {
+        LiveOutW[B] = std::move(Out);
+        LiveInW[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+
+  // Webs carrying function inputs are all "defined" together at entry:
+  // any two simultaneously live there interfere even though no textual
+  // definition exists.
+  const BitVector &EntryLive = LiveInW[0];
+  for (int A = EntryLive.findFirst(); A != -1;
+       A = EntryLive.findNext(static_cast<unsigned>(A)))
+    for (int B = EntryLive.findNext(static_cast<unsigned>(A)); B != -1;
+         B = EntryLive.findNext(static_cast<unsigned>(B)))
+      Graph.addEdge(static_cast<unsigned>(A), static_cast<unsigned>(B));
+
+  // Interference: walk each block backward; at a definition, the defined
+  // web conflicts with everything currently live (minus itself). A value
+  // whose last use feeds this very instruction is no longer in Live, which
+  // implements the paper's open interval endpoint.
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    BitVector Live = LiveOutW[B];
+    MaxPressure = std::max(MaxPressure, Live.count());
+    for (unsigned I = BB.size(); I-- != 0;) {
+      const Instruction &Inst = BB.inst(I);
+      if (Inst.hasDef()) {
+        unsigned DefWeb = W.webOfDef(B, I);
+        for (int Other = Live.findFirst(); Other != -1;
+             Other = Live.findNext(static_cast<unsigned>(Other)))
+          if (static_cast<unsigned>(Other) != DefWeb)
+            Graph.addEdge(DefWeb, static_cast<unsigned>(Other));
+        Live.reset(DefWeb);
+      }
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op)
+        Live.set(W.webOfUse(B, I, Op));
+      MaxPressure = std::max(MaxPressure, Live.count());
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- regalloc/InterferenceGraph.h - Live-range interference ---*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic Chaitin-style interference graph Gr: one vertex per web
+/// (compound live interval) and an undirected edge when one definition is
+/// live where the other is defined. Per the paper, the statement of a
+/// value's last use is excluded from its interval, so a register can be
+/// reused by the instruction that last reads it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_REGALLOC_INTERFERENCEGRAPH_H
+#define PIRA_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "support/BitVector.h"
+#include "support/UndirectedGraph.h"
+
+#include <vector>
+
+namespace pira {
+
+class Function;
+class Webs;
+
+/// Interference over webs, with web-granularity liveness as a byproduct.
+class InterferenceGraph {
+public:
+  /// Builds Gr for \p F using the web partition \p W.
+  InterferenceGraph(const Function &F, const Webs &W);
+
+  /// Returns the number of vertices (webs).
+  unsigned numWebs() const { return Graph.numVertices(); }
+
+  /// The undirected edge structure.
+  const UndirectedGraph &graph() const { return Graph; }
+
+  /// Returns true when webs \p A and \p B interfere.
+  bool interfere(unsigned A, unsigned B) const {
+    return Graph.hasEdge(A, B);
+  }
+
+  /// Webs live on entry to block \p B.
+  const BitVector &liveIn(unsigned B) const { return LiveInW[B]; }
+
+  /// Webs live on exit from block \p B.
+  const BitVector &liveOut(unsigned B) const { return LiveOutW[B]; }
+
+  /// The maximum number of webs simultaneously live at any program point
+  /// (a lower bound on the chromatic number absent spills).
+  unsigned maxLivePressure() const { return MaxPressure; }
+
+private:
+  UndirectedGraph Graph;
+  std::vector<BitVector> LiveInW;
+  std::vector<BitVector> LiveOutW;
+  unsigned MaxPressure = 0;
+};
+
+} // namespace pira
+
+#endif // PIRA_REGALLOC_INTERFERENCEGRAPH_H

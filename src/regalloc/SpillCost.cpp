@@ -1,0 +1,49 @@
+//===- regalloc/SpillCost.cpp - Per-web spill cost estimation -------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillCost.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+#include "support/BitMatrix.h"
+
+using namespace pira;
+
+std::vector<double> pira::computeSpillCosts(const Function &F, const Webs &W,
+                                            double LoopFactor) {
+  unsigned NumBlocks = F.numBlocks();
+
+  // Block B is "in a loop" when it can reach itself.
+  BitMatrix Reach(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    for (unsigned S : F.block(B).successors())
+      Reach.set(B, S);
+  Reach.transitiveClosure();
+  std::vector<double> BlockWeight(NumBlocks, 1.0);
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    if (Reach.test(B, B))
+      BlockWeight[B] = LoopFactor;
+
+  std::vector<double> Costs(W.numWebs(), 0.0);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      const Instruction &Inst = BB.inst(I);
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op)
+        Costs[W.webOfUse(B, I, Op)] += BlockWeight[B];
+      if (Inst.hasDef())
+        Costs[W.webOfDef(B, I)] += BlockWeight[B];
+    }
+  }
+  // A web carrying a function input costs a little extra to spill (its
+  // value must be stored on entry).
+  for (unsigned Web = 0, E = W.numWebs(); Web != E; ++Web)
+    if (W.hasEntryDef(Web))
+      Costs[Web] += 1.0;
+  return Costs;
+}

@@ -1,0 +1,33 @@
+//===- regalloc/SpillCost.h - Per-web spill cost estimation -----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's cost function: "the cost function, in general, is a
+/// function of the instruction's nesting level." Each def or use of a web
+/// contributes a dynamic-frequency weight of LoopFactor^depth, where depth
+/// is 1 for blocks that sit on a CFG cycle and 0 otherwise (a one-level
+/// approximation adequate for the kernels in this repository).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_REGALLOC_SPILLCOST_H
+#define PIRA_REGALLOC_SPILLCOST_H
+
+#include <vector>
+
+namespace pira {
+
+class Function;
+class Webs;
+
+/// Computes the spill cost of every web of \p F.
+std::vector<double> computeSpillCosts(const Function &F, const Webs &W,
+                                      double LoopFactor = 10.0);
+
+} // namespace pira
+
+#endif // PIRA_REGALLOC_SPILLCOST_H

@@ -1,0 +1,102 @@
+//===- regalloc/SpillInserter.cpp - Spill code rewriting ------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillInserter.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+
+#include <cassert>
+#include <map>
+
+using namespace pira;
+
+SpillCode pira::insertSpillCode(Function &F, const Webs &W,
+                                const std::vector<unsigned> &SpillWebs,
+                                std::set<Reg> &NoSpillRegs) {
+  SpillCode Code;
+  if (SpillWebs.empty())
+    return Code;
+
+  // Assign slots past any slots earlier rounds claimed.
+  unsigned FirstSlot = F.arraySize(SpillArrayName);
+  std::map<unsigned, unsigned> SlotOfWeb;
+  for (unsigned I = 0, E = static_cast<unsigned>(SpillWebs.size()); I != E;
+       ++I) {
+    SlotOfWeb[SpillWebs[I]] = FirstSlot + I;
+    NoSpillRegs.insert(W.webRegister(SpillWebs[I]));
+  }
+  F.declareArray(SpillArrayName,
+                 FirstSlot + static_cast<unsigned>(SpillWebs.size()));
+
+  auto MakeLoad = [&](unsigned Slot) {
+    Reg Fresh = F.makeReg();
+    NoSpillRegs.insert(Fresh);
+    Instruction L(Opcode::Load, Fresh, {}, static_cast<int64_t>(Slot));
+    L.setArraySymbol(SpillArrayName);
+    ++Code.Loads;
+    return std::pair<Instruction, Reg>(std::move(L), Fresh);
+  };
+  auto MakeStore = [&](unsigned Slot, Reg Value) {
+    Instruction S(Opcode::Store, NoReg, {Value},
+                  static_cast<int64_t>(Slot));
+    S.setArraySymbol(SpillArrayName);
+    ++Code.Stores;
+    return S;
+  };
+
+  for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
+    BasicBlock &BB = F.block(B);
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(BB.size());
+
+    // Function-input values of spilled webs materialize in their register
+    // at entry; park them in their slot before anything else runs.
+    if (B == 0)
+      for (unsigned Web : SpillWebs)
+        if (W.hasEntryDef(Web))
+          NewInsts.push_back(
+              MakeStore(SlotOfWeb[Web], W.webRegister(Web)));
+
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      Instruction Inst = BB.inst(I);
+
+      // One reload per distinct spilled web feeding this instruction.
+      std::map<unsigned, Reg> ReloadOfWeb;
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        unsigned Web = W.webOfUse(B, I, Op);
+        auto SlotIt = SlotOfWeb.find(Web);
+        if (SlotIt == SlotOfWeb.end())
+          continue;
+        auto ReloadIt = ReloadOfWeb.find(Web);
+        if (ReloadIt == ReloadOfWeb.end()) {
+          auto [L, Fresh] = MakeLoad(SlotIt->second);
+          NewInsts.push_back(std::move(L));
+          ReloadIt = ReloadOfWeb.emplace(Web, Fresh).first;
+        }
+        Inst.setUse(Op, ReloadIt->second);
+      }
+
+      bool StoreAfter = false;
+      unsigned Slot = 0;
+      if (Inst.hasDef()) {
+        auto It = SlotOfWeb.find(W.webOfDef(B, I));
+        if (It != SlotOfWeb.end()) {
+          StoreAfter = true;
+          Slot = It->second;
+        }
+      }
+      Reg DefReg = Inst.hasDef() ? Inst.def() : NoReg;
+      NewInsts.push_back(std::move(Inst));
+      if (StoreAfter)
+        NewInsts.push_back(MakeStore(Slot, DefReg));
+    }
+    BB.instructions() = std::move(NewInsts);
+  }
+  return Code;
+}

@@ -1,0 +1,49 @@
+//===- regalloc/SpillInserter.h - Spill code rewriting ----------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spill-everywhere rewriting: a spilled web gets a dedicated slot in the
+/// reserved `spillmem` array, a store after every definition, and a fresh
+/// reload register before every use. Fresh registers (and the spilled
+/// register itself) are reported so allocators can pin them as
+/// unspillable, guaranteeing the color/spill/repeat loop terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_REGALLOC_SPILLINSERTER_H
+#define PIRA_REGALLOC_SPILLINSERTER_H
+
+#include "ir/Instruction.h"
+
+#include <set>
+#include <vector>
+
+namespace pira {
+
+class Function;
+class Webs;
+
+/// Name of the reserved array backing spill slots.
+inline constexpr const char *SpillArrayName = "spillmem";
+
+/// Instruction counts added by one spill round.
+struct SpillCode {
+  unsigned Stores = 0;
+  unsigned Loads = 0;
+};
+
+/// Rewrites \p F in place, spilling every web in \p SpillWebs (ids under
+/// \p W, which must describe the current \p F). Registers that must not
+/// be chosen for spilling again — reload temporaries and the spilled
+/// webs' own registers — are added to \p NoSpillRegs.
+SpillCode insertSpillCode(Function &F, const Webs &W,
+                          const std::vector<unsigned> &SpillWebs,
+                          std::set<Reg> &NoSpillRegs);
+
+} // namespace pira
+
+#endif // PIRA_REGALLOC_SPILLINSERTER_H

@@ -1,0 +1,39 @@
+//===- sched/EPTimes.cpp - Earliest-possible issue times ------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/EPTimes.h"
+
+#include "analysis/DependenceGraph.h"
+
+#include <algorithm>
+
+using namespace pira;
+
+std::vector<unsigned> pira::computeEP(const DependenceGraph &G) {
+  unsigned N = G.size();
+  std::vector<unsigned> EP(N, 0);
+  // Instruction indices are already a topological order of the schedule
+  // graph (edges point forward in program order), so one forward pass
+  // computes longest paths.
+  for (unsigned V = 0; V != N; ++V)
+    for (unsigned EI : G.succEdges(V)) {
+      const DepEdge &E = G.edges()[EI];
+      EP[E.To] = std::max(EP[E.To], EP[V] + E.Latency);
+    }
+  return EP;
+}
+
+std::vector<unsigned> pira::computeHeights(const DependenceGraph &G) {
+  unsigned N = G.size();
+  std::vector<unsigned> Height(N, 0);
+  for (unsigned V = N; V-- != 0;)
+    for (unsigned EI : G.succEdges(V)) {
+      const DepEdge &E = G.edges()[EI];
+      Height[V] = std::max(Height[V], Height[E.To] + E.Latency);
+    }
+  return Height;
+}

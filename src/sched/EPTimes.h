@@ -1,0 +1,37 @@
+//===- sched/EPTimes.h - Earliest-possible issue times ----------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EP numbers from the paper's Section 4: the earliest possible time each
+/// instruction can issue, computed as a longest path over the schedule
+/// graph with edge delays ("in [7] EP stands for early partition"). Also
+/// the dual — height to the farthest sink — used as the list scheduler's
+/// critical-path priority.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SCHED_EPTIMES_H
+#define PIRA_SCHED_EPTIMES_H
+
+#include <vector>
+
+namespace pira {
+
+class DependenceGraph;
+
+/// Returns EP[v]: the longest-path distance (sum of edge latencies) from
+/// any source to v. Sources have EP 0.
+std::vector<unsigned> computeEP(const DependenceGraph &G);
+
+/// Returns height[v]: the longest-path distance from v to any sink,
+/// counting v's own contribution via its outgoing latencies. Higher means
+/// more urgent.
+std::vector<unsigned> computeHeights(const DependenceGraph &G);
+
+} // namespace pira
+
+#endif // PIRA_SCHED_EPTIMES_H

@@ -1,0 +1,200 @@
+//===- sched/IntegratedPrepass.cpp - Goodman-Hsu IPS scheduler ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/IntegratedPrepass.h"
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+#include "sched/EPTimes.h"
+#include "sched/ListScheduler.h"
+#include "sched/Schedule.h"
+
+#include <array>
+#include <cassert>
+#include <map>
+
+using namespace pira;
+
+namespace {
+
+/// Dual-mode list scheduling of one block.
+class IpsBlockScheduler {
+public:
+  IpsBlockScheduler(const Function &F, unsigned BlockIdx,
+                    const MachineModel &Machine, const Liveness &Live,
+                    unsigned RegLimit, IpsStats &Stats)
+      : F(F), BB(F.block(BlockIdx)), Machine(Machine),
+        G(F, BlockIdx, Machine), RegLimit(RegLimit), Stats(Stats) {
+    unsigned N = G.size();
+    Height = computeHeights(G);
+    PredsLeft.assign(N, 0);
+    for (unsigned V = 0; V != N; ++V)
+      PredsLeft[V] = static_cast<unsigned>(G.predEdges(V).size());
+    ReadyAt.assign(N, 0);
+    Issued.assign(N, false);
+
+    // Remaining in-block uses per register, and whether the value
+    // escapes (live-out) — an escaping value never dies here.
+    for (const Instruction &I : BB.instructions())
+      for (Reg U : I.uses())
+        ++RemainingUses[U];
+    LiveOut = Live.liveOut(BlockIdx);
+    // Live on entry to the scheduling region: upward-exposed registers.
+    const BitVector &UpwardExposed = Live.upwardExposed(BlockIdx);
+    LiveCount = UpwardExposed.count();
+  }
+
+  BlockSchedule run() {
+    unsigned N = G.size();
+    BlockSchedule Out;
+    Out.CycleOf.assign(N, 0);
+    unsigned Remaining = N;
+    unsigned Cycle = 0;
+    while (Remaining != 0) {
+      unsigned SlotsLeft = Machine.issueWidth();
+      std::array<unsigned, NumUnitKinds> UnitsLeft{};
+      for (unsigned K = 0; K != NumUnitKinds; ++K)
+        UnitsLeft[K] = Machine.units(static_cast<UnitKind>(K));
+      bool IssuedAny = true;
+      while (IssuedAny && SlotsLeft != 0) {
+        IssuedAny = false;
+        unsigned Best = pickCandidate(Cycle, UnitsLeft);
+        if (Best == ~0u)
+          break;
+        issue(Best, Cycle, Out);
+        --Remaining;
+        --SlotsLeft;
+        --UnitsLeft[static_cast<unsigned>(BB.inst(Best).unit())];
+        IssuedAny = true;
+      }
+      ++Cycle;
+    }
+    Out.Makespan = Cycle;
+    return Out;
+  }
+
+private:
+  /// Net live-value change if \p V issues now: +1 for a def that anyone
+  /// still needs, -1 per operand whose last remaining use this is.
+  int pressureDelta(unsigned V) const {
+    const Instruction &I = BB.inst(V);
+    int Delta = 0;
+    if (I.hasDef())
+      ++Delta;
+    // Count distinct operand registers that would die.
+    std::map<Reg, unsigned> OpCount;
+    for (Reg U : I.uses())
+      ++OpCount[U];
+    for (const auto &[R, Count] : OpCount) {
+      auto It = RemainingUses.find(R);
+      if (It != RemainingUses.end() && It->second == Count &&
+          (R >= LiveOut.size() || !LiveOut.test(R)))
+        --Delta;
+    }
+    return Delta;
+  }
+
+  unsigned pickCandidate(unsigned Cycle,
+                         const std::array<unsigned, NumUnitKinds> &Units) {
+    bool PressureMode = LiveCount >= RegLimit;
+    unsigned Best = ~0u;
+    int BestDelta = 0;
+    for (unsigned V = 0; V != G.size(); ++V) {
+      if (Issued[V] || PredsLeft[V] != 0 || ReadyAt[V] > Cycle)
+        continue;
+      if (Units[static_cast<unsigned>(BB.inst(V).unit())] == 0)
+        continue;
+      if (Best == ~0u) {
+        Best = V;
+        BestDelta = pressureDelta(V);
+        continue;
+      }
+      if (PressureMode) {
+        // CSR: smallest pressure delta first; ties by height.
+        int Delta = pressureDelta(V);
+        if (Delta < BestDelta ||
+            (Delta == BestDelta && Height[V] > Height[Best])) {
+          Best = V;
+          BestDelta = Delta;
+        }
+      } else if (Height[V] > Height[Best]) {
+        // CSP: critical path height.
+        Best = V;
+      }
+    }
+    if (Best != ~0u) {
+      if (PressureMode)
+        ++Stats.CsrDecisions;
+      else
+        ++Stats.CspDecisions;
+    }
+    return Best;
+  }
+
+  void issue(unsigned V, unsigned Cycle, BlockSchedule &Out) {
+    Issued[V] = true;
+    Out.CycleOf[V] = Cycle;
+    const Instruction &I = BB.inst(V);
+    std::map<Reg, unsigned> OpCount;
+    for (Reg U : I.uses())
+      ++OpCount[U];
+    for (const auto &[R, Count] : OpCount) {
+      unsigned &Left = RemainingUses[R];
+      assert(Left >= Count && "use accounting out of sync");
+      Left -= Count;
+      if (Left == 0 && (R >= LiveOut.size() || !LiveOut.test(R)) &&
+          LiveCount > 0)
+        --LiveCount;
+    }
+    if (I.hasDef())
+      ++LiveCount;
+    for (unsigned EI : G.succEdges(V)) {
+      const DepEdge &E = G.edges()[EI];
+      ReadyAt[E.To] = std::max(ReadyAt[E.To], Cycle + E.Latency);
+      --PredsLeft[E.To];
+    }
+  }
+
+  const Function &F;
+  const BasicBlock &BB;
+  const MachineModel &Machine;
+  DependenceGraph G;
+  unsigned RegLimit;
+  IpsStats &Stats;
+
+  std::vector<unsigned> Height;
+  std::vector<unsigned> PredsLeft;
+  std::vector<unsigned> ReadyAt;
+  std::vector<bool> Issued;
+  std::map<Reg, unsigned> RemainingUses;
+  BitVector LiveOut;
+  unsigned LiveCount = 0;
+};
+
+} // namespace
+
+IpsStats pira::integratedPrepassSchedule(Function &F,
+                                         const MachineModel &Machine,
+                                         unsigned RegLimit) {
+  assert(!F.isAllocated() && "IPS runs on symbolic code");
+  assert(RegLimit >= 1 && "register limit must be positive");
+  IpsStats Stats;
+  Liveness Live(F);
+  for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
+    if (F.block(B).size() < 2)
+      continue;
+    IpsBlockScheduler Scheduler(F, B, Machine, Live, RegLimit, Stats);
+    BlockSchedule S = Scheduler.run();
+    std::vector<unsigned> Perm = reorderBlockBySchedule(F, B, S);
+    for (unsigned Pos = 0; Pos != Perm.size(); ++Pos)
+      if (Perm[Pos] != Pos)
+        ++Stats.Moved;
+  }
+  return Stats;
+}

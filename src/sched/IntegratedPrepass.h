@@ -1,0 +1,44 @@
+//===- sched/IntegratedPrepass.h - Goodman-Hsu IPS scheduler ----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integrated prepass scheduling of Goodman and Hsu ("Code
+/// scheduling and register allocation in large basic blocks", ICS 1988)
+/// — the paper's related work [10] and a natural comparator for the
+/// combined framework. A list scheduler over symbolic code alternates
+/// between two priority functions based on the number of live values it
+/// would keep: below the register limit it schedules for the pipeline
+/// (critical-path height, CSP); at or above the limit it schedules to
+/// reduce register pressure (prefer instructions that kill more values
+/// than they create, CSR).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SCHED_INTEGRATEDPREPASS_H
+#define PIRA_SCHED_INTEGRATEDPREPASS_H
+
+namespace pira {
+
+class Function;
+class MachineModel;
+
+/// Statistics of an IPS run.
+struct IpsStats {
+  unsigned CspDecisions = 0; ///< Picks made in pipeline mode.
+  unsigned CsrDecisions = 0; ///< Picks made in pressure mode.
+  unsigned Moved = 0;        ///< Instructions whose position changed.
+};
+
+/// Reorders every block of \p F (symbolic form) with the Goodman-Hsu
+/// dual-mode list scheduler, switching to register-reducing mode when
+/// the count of live values reaches \p RegLimit.
+IpsStats integratedPrepassSchedule(Function &F, const MachineModel &Machine,
+                                   unsigned RegLimit);
+
+} // namespace pira
+
+#endif // PIRA_SCHED_INTEGRATEDPREPASS_H

@@ -1,0 +1,125 @@
+//===- sched/ListScheduler.cpp - Resource-constrained scheduling ----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+#include "sched/EPTimes.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+using namespace pira;
+
+BlockSchedule pira::scheduleBlockFor(const Function &F, unsigned BlockIdx,
+                                     const DependenceGraph &G,
+                                     const MachineModel &Machine) {
+  const BasicBlock &BB = F.block(BlockIdx);
+  unsigned N = G.size();
+  assert(N == BB.size() && "dependence graph does not match block");
+
+  BlockSchedule Out;
+  Out.CycleOf.assign(N, 0);
+  if (N == 0)
+    return Out;
+
+  std::vector<unsigned> Height = computeHeights(G);
+  std::vector<unsigned> PredsLeft(N, 0);
+  for (unsigned V = 0; V != N; ++V)
+    PredsLeft[V] = static_cast<unsigned>(G.predEdges(V).size());
+
+  // ReadyAt[v]: earliest cycle v may issue given already-issued preds.
+  std::vector<unsigned> ReadyAt(N, 0);
+  std::vector<bool> Issued(N, false);
+  unsigned Remaining = N;
+  unsigned Cycle = 0;
+
+  while (Remaining != 0) {
+    unsigned SlotsLeft = Machine.issueWidth();
+    std::array<unsigned, NumUnitKinds> UnitsLeft{};
+    for (unsigned K = 0; K != NumUnitKinds; ++K)
+      UnitsLeft[K] = Machine.units(static_cast<UnitKind>(K));
+
+    // Issue greedily within the cycle; each issue can unlock zero-latency
+    // successors in the same cycle, so loop until no candidate fits.
+    bool IssuedAny = true;
+    while (IssuedAny && SlotsLeft != 0) {
+      IssuedAny = false;
+      // Pick the ready candidate with the greatest height (ties: lowest
+      // original index, preserving program order).
+      unsigned Best = ~0u;
+      for (unsigned V = 0; V != N; ++V) {
+        if (Issued[V] || PredsLeft[V] != 0 || ReadyAt[V] > Cycle)
+          continue;
+        unsigned Kind = static_cast<unsigned>(BB.inst(V).unit());
+        if (UnitsLeft[Kind] == 0)
+          continue;
+        if (Best == ~0u || Height[V] > Height[Best])
+          Best = V;
+      }
+      if (Best == ~0u)
+        break;
+
+      Issued[Best] = true;
+      Out.CycleOf[Best] = Cycle;
+      --Remaining;
+      --SlotsLeft;
+      --UnitsLeft[static_cast<unsigned>(BB.inst(Best).unit())];
+      IssuedAny = true;
+      for (unsigned EI : G.succEdges(Best)) {
+        const DepEdge &E = G.edges()[EI];
+        ReadyAt[E.To] = std::max(ReadyAt[E.To], Cycle + E.Latency);
+        --PredsLeft[E.To];
+      }
+    }
+    ++Cycle;
+  }
+  Out.Makespan = Cycle;
+  return Out;
+}
+
+FunctionSchedule pira::scheduleFunction(const Function &F,
+                                        const MachineModel &Machine) {
+  FunctionSchedule Out;
+  Out.Blocks.reserve(F.numBlocks());
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    DependenceGraph G(F, B, Machine);
+    Out.Blocks.push_back(scheduleBlockFor(F, B, G, Machine));
+  }
+  return Out;
+}
+
+std::vector<unsigned> pira::reorderBlockBySchedule(Function &F,
+                                                   unsigned Block,
+                                                   const BlockSchedule &S) {
+  BasicBlock &BB = F.block(Block);
+  unsigned N = BB.size();
+  assert(S.CycleOf.size() == N && "schedule does not match block");
+
+  std::vector<unsigned> Order(N);
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B2) {
+    return S.CycleOf[A] < S.CycleOf[B2];
+  });
+
+  [[maybe_unused]] bool HadTerminator = BB.hasTerminator();
+  std::vector<Instruction> NewInsts;
+  NewInsts.reserve(N);
+  std::vector<unsigned> NewIndex(N, 0);
+  for (unsigned Pos = 0; Pos != N; ++Pos) {
+    NewIndex[Order[Pos]] = Pos;
+    NewInsts.push_back(BB.inst(Order[Pos]));
+  }
+  BB.instructions() = std::move(NewInsts);
+  assert((!HadTerminator || BB.hasTerminator()) &&
+         "reorder must keep the terminator last");
+  return NewIndex;
+}

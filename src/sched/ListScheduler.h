@@ -1,0 +1,52 @@
+//===- sched/ListScheduler.h - Resource-constrained scheduling -*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cycle-driven list scheduler in the Gibbons-Muchnick style the paper
+/// cites: at each cycle, ready instructions (all predecessors issued and
+/// latencies elapsed) compete for the machine's functional units and
+/// issue slots, highest critical-path height first. It runs after
+/// register allocation — on a dependence graph that reflects whatever
+/// anti/output dependences the allocator introduced — which is exactly
+/// where the paper's framework pays off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SCHED_LISTSCHEDULER_H
+#define PIRA_SCHED_LISTSCHEDULER_H
+
+#include "sched/Schedule.h"
+
+#include <vector>
+
+namespace pira {
+
+class DependenceGraph;
+class Function;
+class MachineModel;
+
+/// Schedules block \p BlockIdx of \p F, whose dependence graph is \p G,
+/// onto \p Machine.
+BlockSchedule scheduleBlockFor(const Function &F, unsigned BlockIdx,
+                               const DependenceGraph &G,
+                               const MachineModel &Machine);
+
+/// Schedules every block of \p F (building each block's dependence graph
+/// from the function's current operands).
+FunctionSchedule scheduleFunction(const Function &F,
+                                  const MachineModel &Machine);
+
+/// Physically reorders \p Block's instructions of \p F into schedule
+/// order (by cycle, original position within a cycle) and returns the
+/// permutation NewIndex[OldIndex]. Used by the schedule-first pipeline to
+/// materialize its pre-pass ordering.
+std::vector<unsigned> reorderBlockBySchedule(Function &F, unsigned Block,
+                                             const BlockSchedule &S);
+
+} // namespace pira
+
+#endif // PIRA_SCHED_LISTSCHEDULER_H

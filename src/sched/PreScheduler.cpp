@@ -1,0 +1,120 @@
+//===- sched/PreScheduler.cpp - EP-driven input reordering ----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/PreScheduler.h"
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+#include "sched/EPTimes.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+using namespace pira;
+
+/// Postpones instructions that overflow machine capacity at their EP
+/// value and propagates the delay; returns the adjusted EP numbers.
+static std::vector<unsigned> adjustEP(const Function &F, unsigned BlockIdx,
+                                      const DependenceGraph &G,
+                                      const MachineModel &Machine) {
+  const BasicBlock &BB = F.block(BlockIdx);
+  unsigned N = G.size();
+  std::vector<unsigned> EP = computeEP(G);
+  std::vector<unsigned> Height = computeHeights(G);
+
+  // Process EP levels smallest first. Levels can grow as members are
+  // postponed, so re-scan until every level fits.
+  unsigned Level = 0;
+  unsigned MaxLevel = 0;
+  for (unsigned V = 0; V != N; ++V)
+    MaxLevel = std::max(MaxLevel, EP[V]);
+  while (Level <= MaxLevel) {
+    // Members of this level, most urgent (greatest height) first; ties in
+    // original program order.
+    std::vector<unsigned> Members;
+    for (unsigned V = 0; V != N; ++V)
+      if (EP[V] == Level)
+        Members.push_back(V);
+    std::stable_sort(Members.begin(), Members.end(),
+                     [&](unsigned A, unsigned B) {
+                       return Height[A] > Height[B];
+                     });
+
+    // Admit members while capacity lasts; postpone the rest.
+    unsigned SlotsLeft = Machine.issueWidth();
+    std::array<unsigned, NumUnitKinds> UnitsLeft{};
+    for (unsigned K = 0; K != NumUnitKinds; ++K)
+      UnitsLeft[K] = Machine.units(static_cast<UnitKind>(K));
+    std::vector<unsigned> Postponed;
+    for (unsigned V : Members) {
+      unsigned Kind = static_cast<unsigned>(BB.inst(V).unit());
+      if (SlotsLeft != 0 && UnitsLeft[Kind] != 0) {
+        --SlotsLeft;
+        --UnitsLeft[Kind];
+      } else {
+        Postponed.push_back(V);
+      }
+    }
+
+    for (unsigned V : Postponed) {
+      ++EP[V];
+      MaxLevel = std::max(MaxLevel, EP[V]);
+      // Propagate along outgoing paths: a successor may issue no earlier
+      // than EP[V] + latency. One forward sweep suffices per bump because
+      // indices are topologically ordered.
+      for (unsigned U = V; U != N; ++U)
+        for (unsigned EI : G.succEdges(U)) {
+          const DepEdge &E = G.edges()[EI];
+          if (EP[E.To] < EP[U] + E.Latency) {
+            EP[E.To] = EP[U] + E.Latency;
+            MaxLevel = std::max(MaxLevel, EP[E.To]);
+          }
+        }
+    }
+    ++Level;
+  }
+  return EP;
+}
+
+unsigned pira::preScheduleFunction(Function &F, const MachineModel &Machine) {
+  assert(!F.isAllocated() && "pre-scheduling runs on symbolic code");
+  unsigned Moved = 0;
+  for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
+    BasicBlock &BB = F.block(B);
+    unsigned N = BB.size();
+    if (N < 2)
+      continue;
+    DependenceGraph G(F, B, Machine);
+    std::vector<unsigned> EP = adjustEP(F, B, G, Machine);
+
+    // Linear order consistent with the (adjusted) EP partial order; the
+    // stable sort keeps program order inside one EP level, which respects
+    // every zero-latency edge.
+    std::vector<unsigned> Order(N);
+    std::iota(Order.begin(), Order.end(), 0u);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](unsigned A, unsigned C) { return EP[A] < EP[C]; });
+
+    bool Identity = true;
+    for (unsigned Pos = 0; Pos != N; ++Pos)
+      if (Order[Pos] != Pos) {
+        Identity = false;
+        ++Moved;
+      }
+    if (Identity)
+      continue;
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(N);
+    for (unsigned Pos = 0; Pos != N; ++Pos)
+      NewInsts.push_back(BB.inst(Order[Pos]));
+    BB.instructions() = std::move(NewInsts);
+  }
+  return Moved;
+}

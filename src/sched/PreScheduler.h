@@ -1,0 +1,35 @@
+//===- sched/PreScheduler.h - EP-driven input reordering --------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preliminary scheduling stage of the paper's Section 4 algorithm.
+/// Because the interference graph depends on the sequential order of the
+/// input code, the algorithm first improves that order: EP numbers are
+/// computed from the schedule graph, nodes are visited by increasing EP,
+/// instructions that exceed the machine's per-cycle capacity at an EP
+/// value are postponed (their EP incremented and the increase propagated
+/// along outgoing paths), and finally the block is rewritten in a linear
+/// order consistent with the new EP partial order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SCHED_PRESCHEDULER_H
+#define PIRA_SCHED_PRESCHEDULER_H
+
+namespace pira {
+
+class Function;
+class MachineModel;
+
+/// Reorders every block of \p F into an EP-consistent order for
+/// \p Machine. The function must still be in symbolic-register form.
+/// Returns the number of instructions whose position changed.
+unsigned preScheduleFunction(Function &F, const MachineModel &Machine);
+
+} // namespace pira
+
+#endif // PIRA_SCHED_PRESCHEDULER_H

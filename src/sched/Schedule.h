@@ -1,0 +1,60 @@
+//===- sched/Schedule.h - Schedule result types -----------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle assignments produced by the list scheduler: per block, the issue
+/// cycle of every instruction, and derived makespan / utilization
+/// figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SCHED_SCHEDULE_H
+#define PIRA_SCHED_SCHEDULE_H
+
+#include <cassert>
+#include <vector>
+
+namespace pira {
+
+/// Cycle assignment for one basic block.
+struct BlockSchedule {
+  /// Issue cycle per instruction (indexed by position in the block).
+  std::vector<unsigned> CycleOf;
+
+  /// Number of cycles the block occupies (last issue cycle + 1; zero for
+  /// an empty block).
+  unsigned Makespan = 0;
+
+  /// Instruction indices grouped by cycle, ascending within each cycle.
+  std::vector<std::vector<unsigned>> groupsByCycle() const {
+    std::vector<std::vector<unsigned>> Groups(Makespan);
+    for (unsigned I = 0, E = static_cast<unsigned>(CycleOf.size()); I != E;
+         ++I) {
+      assert(CycleOf[I] < Makespan && "cycle out of range");
+      Groups[CycleOf[I]].push_back(I);
+    }
+    return Groups;
+  }
+};
+
+/// Cycle assignments for every block of a function.
+struct FunctionSchedule {
+  std::vector<BlockSchedule> Blocks;
+
+  /// Static cycle total: the sum of block makespans (each block entered
+  /// once). Dynamic totals come from the simulator.
+  unsigned totalMakespan() const {
+    unsigned Total = 0;
+    for (const BlockSchedule &B : Blocks)
+      Total += B.Makespan;
+    return Total;
+  }
+};
+
+} // namespace pira
+
+#endif // PIRA_SCHED_SCHEDULE_H

@@ -1,0 +1,170 @@
+//===- sim/SuperscalarSim.cpp - Cycle-accurate issue simulator ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SuperscalarSim.h"
+
+#include "ir/Function.h"
+#include "machine/MachineModel.h"
+#include "sched/Schedule.h"
+
+#include <map>
+#include <sstream>
+
+using namespace pira;
+
+namespace {
+
+/// Tracks when each register and memory slot becomes readable.
+struct Scoreboard {
+  std::vector<uint64_t> RegReadyAt;
+  std::map<std::pair<std::string, size_t>, uint64_t> MemReadyAt;
+};
+
+} // namespace
+
+/// Formats "block L, inst I: message".
+static std::string diag(const Function &F, unsigned Block, unsigned Inst,
+                        const std::string &Msg) {
+  std::ostringstream OS;
+  OS << "block " << F.block(Block).name() << ", inst " << Inst << ": "
+     << Msg;
+  return OS.str();
+}
+
+SimResult pira::simulate(const Function &F, const FunctionSchedule &Sched,
+                         const MachineModel &Machine, ExecState Initial,
+                         uint64_t MaxCycles) {
+  SimResult R;
+  R.Final = std::move(Initial);
+  ExecState &State = R.Final;
+  if (State.Regs.size() < F.numRegs())
+    State.Regs.resize(F.numRegs(), 0);
+
+  if (F.numBlocks() == 0 || Sched.Blocks.size() != F.numBlocks()) {
+    R.Error = "schedule does not cover the function";
+    return R;
+  }
+
+  Scoreboard Board;
+  Board.RegReadyAt.assign(F.numRegs(), 0);
+
+  unsigned Block = 0;
+  while (R.Cycles < MaxCycles) {
+    const BasicBlock &BB = F.block(Block);
+    const BlockSchedule &BS = Sched.Blocks[Block];
+    if (BS.CycleOf.size() != BB.size()) {
+      R.Error = diag(F, Block, 0, "schedule does not match block size");
+      return R;
+    }
+    std::vector<std::vector<unsigned>> Groups = BS.groupsByCycle();
+    // Block schedules assume every operand is ready on entry; the
+    // machine stalls at the boundary until in-flight results (register
+    // and memory) drain. Intra-block hazards below remain hard errors —
+    // they indicate scheduler bugs, not boundary effects.
+    uint64_t Base = R.Cycles;
+    for (uint64_t Ready : Board.RegReadyAt)
+      Base = std::max(Base, Ready);
+    for (const auto &[Slot, Ready] : Board.MemReadyAt)
+      Base = std::max(Base, Ready);
+    R.BoundaryStalls += Base - R.Cycles;
+    int NextBlock = -1;
+
+    for (unsigned C = 0, CE = BS.Makespan; C != CE; ++C) {
+      uint64_t Abs = Base + C;
+      // Structural legality of the cycle.
+      unsigned Width = 0;
+      std::array<unsigned, NumUnitKinds> PerUnit{};
+      for (unsigned I : Groups[C]) {
+        ++Width;
+        ++PerUnit[static_cast<unsigned>(BB.inst(I).unit())];
+      }
+      if (Width > Machine.issueWidth()) {
+        R.Error = diag(F, Block, Groups[C].empty() ? 0 : Groups[C][0],
+                       "issue width exceeded");
+        return R;
+      }
+      for (unsigned K = 0; K != NumUnitKinds; ++K)
+        if (PerUnit[K] > Machine.units(static_cast<UnitKind>(K))) {
+          R.Error = diag(F, Block, Groups[C].empty() ? 0 : Groups[C][0],
+                         std::string("unit overcommitted: ") +
+                             unitKindName(static_cast<UnitKind>(K)));
+          return R;
+        }
+
+      // Execute the group in program order (reads-before-writes across
+      // anti dependences is preserved because an anti edge always points
+      // from the earlier instruction to the later one).
+      for (unsigned I : Groups[C]) {
+        const Instruction &Inst = BB.inst(I);
+        for (Reg U : Inst.uses())
+          if (Board.RegReadyAt[U] > Abs) {
+            R.Error =
+                diag(F, Block, I, "register operand read before ready");
+            return R;
+          }
+        std::string Array;
+        size_t Slot = 0;
+        bool HasAddr = Inst.isMemory() &&
+                       resolveAddress(Inst, State, Array, Slot);
+        if (HasAddr && Inst.opcode() == Opcode::Load) {
+          auto It = Board.MemReadyAt.find({Array, Slot});
+          if (It != Board.MemReadyAt.end() && It->second > Abs) {
+            R.Error = diag(F, Block, I, "memory read before store ready");
+            return R;
+          }
+        }
+
+        ++R.Instructions;
+        ++R.UnitIssues[static_cast<unsigned>(Inst.unit())];
+
+        if (Inst.isTerminator()) {
+          switch (Inst.opcode()) {
+          case Opcode::Br:
+            NextBlock = static_cast<int>(Inst.targets()[0]);
+            break;
+          case Opcode::CondBr:
+            NextBlock = static_cast<int>(State.Regs[Inst.uses()[0]] != 0
+                                             ? Inst.targets()[0]
+                                             : Inst.targets()[1]);
+            break;
+          case Opcode::Ret:
+            R.Completed = true;
+            if (!Inst.uses().empty()) {
+              R.HasReturnValue = true;
+              R.ReturnValue = State.Regs[Inst.uses()[0]];
+            }
+            break;
+          default:
+            R.Error = diag(F, Block, I, "unknown terminator");
+            return R;
+          }
+          continue;
+        }
+
+        executeInstruction(Inst, F, State);
+        if (Inst.hasDef())
+          Board.RegReadyAt[Inst.def()] =
+              Abs + Machine.latency(Inst.opcode());
+        if (HasAddr && Inst.opcode() == Opcode::Store)
+          Board.MemReadyAt[{Array, Slot}] =
+              Abs + Machine.latency(Opcode::Store);
+      }
+    }
+
+    R.Cycles = Base + BS.Makespan;
+    if (R.Completed)
+      return R;
+    if (NextBlock < 0) {
+      R.Error = diag(F, Block, BB.size() ? BB.size() - 1 : 0,
+                     "block ended without a branch decision");
+      return R;
+    }
+    Block = static_cast<unsigned>(NextBlock);
+  }
+  R.Error = "cycle budget exhausted";
+  return R;
+}

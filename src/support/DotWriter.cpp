@@ -1,0 +1,46 @@
+//===- support/DotWriter.cpp - GraphViz emission helpers ------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DotWriter.h"
+
+#include "support/UndirectedGraph.h"
+
+using namespace pira;
+
+DotWriter::DotWriter(std::ostream &OS, const std::string &Name, bool Directed)
+    : OS(OS), Directed(Directed) {
+  OS << (Directed ? "digraph " : "graph ") << Name << " {\n";
+}
+
+void DotWriter::node(unsigned Id, const std::string &Label,
+                     const std::string &Attrs) {
+  OS << "  n" << Id << " [label=\"" << Label << "\"";
+  if (!Attrs.empty())
+    OS << ", " << Attrs;
+  OS << "];\n";
+}
+
+void DotWriter::edge(unsigned From, unsigned To, const std::string &Attrs) {
+  OS << "  n" << From << (Directed ? " -> n" : " -- n") << To;
+  if (!Attrs.empty())
+    OS << " [" << Attrs << "]";
+  OS << ";\n";
+}
+
+void DotWriter::allEdges(const UndirectedGraph &G, const std::string &Attrs) {
+  for (const auto &[A, B] : G.edgeList())
+    edge(A, B, Attrs);
+}
+
+void DotWriter::finish() {
+  if (Finished)
+    return;
+  OS << "}\n";
+  Finished = true;
+}
+
+DotWriter::~DotWriter() { finish(); }

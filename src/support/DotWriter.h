@@ -1,0 +1,56 @@
+//===- support/DotWriter.h - GraphViz emission helpers ----------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal helpers for dumping graphs in GraphViz DOT syntax. The figure
+/// benchmarks use these to emit the paper's exhibits (schedule graph,
+/// interference graph, parallelizable interference graph) for inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SUPPORT_DOTWRITER_H
+#define PIRA_SUPPORT_DOTWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pira {
+
+class UndirectedGraph;
+
+/// Streams a DOT `graph` with one node per label and the given styling on
+/// edges. Node I is labeled Labels[I].
+class DotWriter {
+public:
+  /// Begins a named graph on \p OS.
+  DotWriter(std::ostream &OS, const std::string &Name, bool Directed);
+
+  /// Emits a node definition with an optional style attribute string.
+  void node(unsigned Id, const std::string &Label,
+            const std::string &Attrs = "");
+
+  /// Emits an edge with an optional style attribute string.
+  void edge(unsigned From, unsigned To, const std::string &Attrs = "");
+
+  /// Emits all edges of \p G with a uniform attribute string.
+  void allEdges(const UndirectedGraph &G, const std::string &Attrs = "");
+
+  /// Closes the graph. Called automatically by the destructor.
+  void finish();
+
+  ~DotWriter();
+
+private:
+  std::ostream &OS;
+  bool Directed;
+  bool Finished = false;
+};
+
+} // namespace pira
+
+#endif // PIRA_SUPPORT_DOTWRITER_H

@@ -1,0 +1,84 @@
+//===- transforms/Cleanup.cpp - DCE and copy propagation ------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Cleanup.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace pira;
+
+unsigned pira::eliminateDeadCode(Function &F) {
+  assert(!F.isAllocated() && "cleanups run on symbolic code");
+  unsigned Deleted = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Total read count per register across the whole function.
+    std::vector<unsigned> Reads(F.numRegs(), 0);
+    for (const BasicBlock &BB : F.blocks())
+      for (const Instruction &I : BB.instructions())
+        for (Reg U : I.uses())
+          ++Reads[U];
+
+    for (BasicBlock &BB : F.blocks()) {
+      std::vector<Instruction> Kept;
+      Kept.reserve(BB.size());
+      for (Instruction &I : BB.instructions()) {
+        bool Dead = I.hasDef() && !I.isMemory() && Reads[I.def()] == 0;
+        // Loads are pure here (wrap-addressed array reads), so a dead
+        // load may go too.
+        if (I.opcode() == Opcode::Load && Reads[I.def()] == 0)
+          Dead = true;
+        if (Dead) {
+          ++Deleted;
+          Changed = true;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      BB.instructions() = std::move(Kept);
+    }
+  }
+  return Deleted;
+}
+
+unsigned pira::propagateCopies(Function &F) {
+  assert(!F.isAllocated() && "cleanups run on symbolic code");
+  unsigned Rewritten = 0;
+  for (BasicBlock &BB : F.blocks()) {
+    // Active forwardings: copy destination -> source.
+    std::map<Reg, Reg> Forward;
+    for (Instruction &I : BB.instructions()) {
+      for (unsigned Op = 0, OE = static_cast<unsigned>(I.uses().size());
+           Op != OE; ++Op) {
+        auto It = Forward.find(I.uses()[Op]);
+        if (It != Forward.end()) {
+          I.setUse(Op, It->second);
+          ++Rewritten;
+        }
+      }
+      if (!I.hasDef())
+        continue;
+      Reg D = I.def();
+      // Any redefinition invalidates forwardings through that register.
+      Forward.erase(D);
+      for (auto It = Forward.begin(); It != Forward.end();) {
+        if (It->second == D)
+          It = Forward.erase(It);
+        else
+          ++It;
+      }
+      if (I.opcode() == Opcode::Copy && I.uses()[0] != D)
+        Forward[D] = I.uses()[0];
+    }
+  }
+  return Rewritten;
+}

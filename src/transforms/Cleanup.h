@@ -1,0 +1,38 @@
+//===- transforms/Cleanup.h - DCE and copy propagation ----------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two classic cleanups over symbolic code, run after transformations
+/// like unrolling or hoisting leave dead temporaries and redundant
+/// moves:
+///
+///   * dead code elimination — deletes pure value-producing instructions
+///     whose register is never read anywhere (iterated to a fixed
+///     point; loads are pure in this machine model, stores and
+///     terminators are never touched);
+///   * block-local copy propagation — forwards `d = copy s` sources to
+///     subsequent readers of d within the block while neither d nor s is
+///     redefined, turning most copies dead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_TRANSFORMS_CLEANUP_H
+#define PIRA_TRANSFORMS_CLEANUP_H
+
+namespace pira {
+
+class Function;
+
+/// Removes never-read pure definitions. \returns instructions deleted.
+unsigned eliminateDeadCode(Function &F);
+
+/// Forwards copy sources within blocks. \returns operands rewritten.
+unsigned propagateCopies(Function &F);
+
+} // namespace pira
+
+#endif // PIRA_TRANSFORMS_CLEANUP_H

@@ -1,0 +1,160 @@
+//===- transforms/LoopUnroller.cpp - Counted-loop unrolling ---------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopUnroller.h"
+
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace pira;
+
+namespace {
+
+/// The recognized canonical loop.
+struct CountedLoop {
+  unsigned Block;
+  Reg Induction;
+  Reg StepReg;
+  Reg BoundReg;
+  int64_t Start;
+  int64_t Step;
+  int64_t Bound;
+  unsigned BodyEnd; ///< Index of the induction update (body is [0, BodyEnd)).
+};
+
+/// Finds the unique constant (LoadImm) definition of \p R outside block
+/// \p LoopBlock; returns nullopt when R has any other definition.
+std::optional<int64_t> uniqueConstantDef(const Function &F, Reg R,
+                                         unsigned LoopBlock,
+                                         bool AllowLoopDef) {
+  std::optional<int64_t> Value;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    for (unsigned I = 0, IE = F.block(B).size(); I != IE; ++I) {
+      const Instruction &Inst = F.block(B).inst(I);
+      if (!Inst.hasDef() || Inst.def() != R)
+        continue;
+      if (B == LoopBlock && AllowLoopDef)
+        continue; // the in-loop update; accounted for separately
+      if (Inst.opcode() != Opcode::LoadImm || Value.has_value())
+        return std::nullopt;
+      Value = Inst.imm();
+    }
+  return Value;
+}
+
+/// Pattern-matches the canonical counted loop in block \p B.
+std::optional<CountedLoop> matchLoop(const Function &F, unsigned B) {
+  const BasicBlock &BB = F.block(B);
+  unsigned N = BB.size();
+  if (N < 3)
+    return std::nullopt;
+  const Instruction &Br = BB.inst(N - 1);
+  if (Br.opcode() != Opcode::CondBr || Br.targets()[0] != B ||
+      Br.targets()[1] == B)
+    return std::nullopt;
+  const Instruction &Cmp = BB.inst(N - 2);
+  if (Cmp.opcode() != Opcode::CmpLt || Cmp.def() != Br.uses()[0])
+    return std::nullopt;
+  const Instruction &Update = BB.inst(N - 3);
+  if (Update.opcode() != Opcode::Add || Update.uses().size() != 2 ||
+      Update.def() != Update.uses()[0] ||
+      Update.def() != Cmp.uses()[0])
+    return std::nullopt;
+
+  CountedLoop L;
+  L.Block = B;
+  L.Induction = Update.def();
+  L.StepReg = Update.uses()[1];
+  L.BoundReg = Cmp.uses()[1];
+  L.BodyEnd = N - 3;
+
+  // All three controlling values must be visible constants; the
+  // induction may additionally be written by the in-loop update.
+  std::optional<int64_t> Start =
+      uniqueConstantDef(F, L.Induction, B, /*AllowLoopDef=*/true);
+  std::optional<int64_t> Step =
+      uniqueConstantDef(F, L.StepReg, B, /*AllowLoopDef=*/false);
+  std::optional<int64_t> Bound =
+      uniqueConstantDef(F, L.BoundReg, B, /*AllowLoopDef=*/false);
+  if (!Start || !Step || !Bound)
+    return std::nullopt;
+  // The induction and the guard must not be recomputed inside the body.
+  for (unsigned I = 0; I != L.BodyEnd; ++I) {
+    const Instruction &Inst = BB.inst(I);
+    if (Inst.hasDef() && (Inst.def() == L.Induction ||
+                          Inst.def() == L.StepReg ||
+                          Inst.def() == L.BoundReg))
+      return std::nullopt;
+  }
+  L.Start = *Start;
+  L.Step = *Step;
+  L.Bound = *Bound;
+  return L;
+}
+
+} // namespace
+
+bool pira::unrollCountedLoop(Function &F, unsigned BlockIdx,
+                             unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  assert(!F.isAllocated() && "unrolling runs on symbolic code");
+  if (Factor == 1)
+    return true;
+  std::optional<CountedLoop> L = matchLoop(F, BlockIdx);
+  if (!L)
+    return false;
+  // Exactness: the trip count must divide evenly.
+  int64_t Span = L->Bound - L->Start;
+  int64_t Chunk = L->Step * static_cast<int64_t>(Factor);
+  if (L->Step <= 0 || Span <= 0 || Span % Chunk != 0)
+    return false;
+
+  // Registers carried around the back edge keep their names in every
+  // copy; everything else defined in the body is renamed per copy so the
+  // copies stay independent for the scheduler.
+  Liveness Live(F);
+  const BasicBlock &BB = F.block(BlockIdx);
+  auto IsCarried = [&](Reg R) { return Live.isLiveIn(BlockIdx, R); };
+
+  std::vector<Instruction> NewBody;
+  for (unsigned Copy = 0; Copy != Factor; ++Copy) {
+    std::map<Reg, Reg> Rename;
+    for (unsigned I = 0; I != L->BodyEnd; ++I) {
+      Instruction Inst = BB.inst(I);
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        auto It = Rename.find(Inst.uses()[Op]);
+        if (It != Rename.end())
+          Inst.setUse(Op, It->second);
+      }
+      if (Inst.hasDef() && Copy != 0 && !IsCarried(Inst.def())) {
+        Reg Fresh = F.makeReg();
+        Rename[Inst.def()] = Fresh;
+        Inst.setDef(Fresh);
+      }
+      NewBody.push_back(std::move(Inst));
+    }
+    // The induction update closes each copy.
+    NewBody.push_back(BB.inst(L->BodyEnd));
+  }
+  NewBody.push_back(BB.inst(L->BodyEnd + 1)); // guard
+  NewBody.push_back(BB.inst(L->BodyEnd + 2)); // branch
+  F.block(BlockIdx).instructions() = std::move(NewBody);
+  return true;
+}
+
+unsigned pira::unrollAllLoops(Function &F, unsigned Factor) {
+  unsigned Done = 0;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    if (unrollCountedLoop(F, B, Factor))
+      ++Done;
+  return Factor == 1 ? 0 : Done;
+}

@@ -1,0 +1,47 @@
+//===- transforms/LoopUnroller.h - Counted-loop unrolling -------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolls single-block counted loops in the canonical tail form the
+/// IRBuilder emits:
+///
+/// \code
+///   loop:
+///     <body>
+///     i = add i, step        # induction update
+///     c = cmplt i, n         # guard
+///     cbr c, loop, exit
+/// \endcode
+///
+/// Unrolling by U replicates `<body>; i += step` U times before a single
+/// guard. The transformation is exact only when the trip count is a
+/// multiple of U; the recognizer therefore requires constant step and
+/// bound with `(bound - start) % (step * U) == 0` when the start is also
+/// a visible constant, and refuses otherwise. This is the substrate's
+/// ILP lever: unrolling widens the scheduling window and raises register
+/// pressure, exactly the tension the paper's framework manages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_TRANSFORMS_LOOPUNROLLER_H
+#define PIRA_TRANSFORMS_LOOPUNROLLER_H
+
+namespace pira {
+
+class Function;
+
+/// Attempts to unroll the counted loop in block \p BlockIdx of \p F by
+/// \p Factor. \returns true on success; on failure \p F is unchanged.
+bool unrollCountedLoop(Function &F, unsigned BlockIdx, unsigned Factor);
+
+/// Unrolls every recognizable counted loop of \p F by \p Factor;
+/// returns the number of loops transformed.
+unsigned unrollAllLoops(Function &F, unsigned Factor);
+
+} // namespace pira
+
+#endif // PIRA_TRANSFORMS_LOOPUNROLLER_H

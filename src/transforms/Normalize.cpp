@@ -1,0 +1,44 @@
+//===- transforms/Normalize.cpp - One register per value ------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Normalize.h"
+
+#include "analysis/Webs.h"
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace pira;
+
+unsigned pira::normalizeWebNames(Function &F) {
+  assert(!F.isAllocated() && "normalization runs on symbolic code");
+  Webs W(F);
+  unsigned Changed = 0;
+  for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
+    BasicBlock &BB = F.block(B);
+    for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+      Instruction &Inst = BB.inst(I);
+      for (unsigned Op = 0, OE = static_cast<unsigned>(Inst.uses().size());
+           Op != OE; ++Op) {
+        Reg NewReg = static_cast<Reg>(W.webOfUse(B, I, Op));
+        if (Inst.uses()[Op] != NewReg) {
+          Inst.setUse(Op, NewReg);
+          ++Changed;
+        }
+      }
+      if (Inst.hasDef()) {
+        Reg NewReg = static_cast<Reg>(W.webOfDef(B, I));
+        if (Inst.def() != NewReg) {
+          Inst.setDef(NewReg);
+          ++Changed;
+        }
+      }
+    }
+  }
+  F.setNumRegs(W.numWebs());
+  return Changed;
+}

@@ -1,0 +1,34 @@
+//===- transforms/Normalize.h - One register per value ----------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renames every operand to its web, producing the paper's assumed input
+/// form: "register based intermediate code where an infinite number of
+/// symbolic registers is assumed (one symbolic register per value)".
+/// Code that arrives with reused registers — hand-written text, output
+/// of other compilers — gains spurious anti/output dependences in its
+/// schedule graph; after normalization only the paper-sanctioned reuse
+/// remains (a compound web keeps one name across all of its merged
+/// definitions, e.g. loop-carried updates and if/else merges), so Et
+/// again contains exactly the real constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_TRANSFORMS_NORMALIZE_H
+#define PIRA_TRANSFORMS_NORMALIZE_H
+
+namespace pira {
+
+class Function;
+
+/// Rewrites \p F (symbolic form) so register k names web k.
+/// \returns the number of operand slots whose register changed.
+unsigned normalizeWebNames(Function &F);
+
+} // namespace pira
+
+#endif // PIRA_TRANSFORMS_NORMALIZE_H

@@ -1,0 +1,227 @@
+//===- workloads/RandomProgram.cpp - Seeded program generator -------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace pira;
+
+namespace {
+
+/// Emits one block's worth of random value-producing instructions,
+/// tracking which registers are available as operands.
+class BodyEmitter {
+public:
+  BodyEmitter(IRBuilder &B, Rng &R, const RandomProgramOptions &Opts)
+      : B(B), R(R), Opts(Opts) {}
+
+  /// Seeds the operand pool (registers defined on every path here).
+  void addAvailable(Reg Rg) { Available.push_back(Rg); }
+
+  /// Returns a random available register.
+  Reg pick() {
+    assert(!Available.empty() && "no operands available");
+    return Available[R.nextBelow(Available.size())];
+  }
+
+  /// Emits \p Count random instructions into the current block.
+  void emit(unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I)
+      emitOne();
+  }
+
+  /// The most recently defined register (for a return value).
+  Reg last() { return Available.back(); }
+
+private:
+  void emitOne() {
+    if (R.chancePercent(Opts.MemoryPercent)) {
+      // Memory op: in-bounds constant address; 50/50 load vs store once
+      // we have anything to store.
+      int64_t Addr = static_cast<int64_t>(R.nextBelow(ArraySize));
+      if (R.chancePercent(50)) {
+        Available.push_back(B.load("m", NoReg, Addr));
+      } else {
+        B.store("m", pick(), NoReg, Addr);
+      }
+      return;
+    }
+    if (R.chancePercent(Opts.FloatPercent)) {
+      static const Opcode FloatOps[] = {Opcode::FAdd, Opcode::FSub,
+                                        Opcode::FMul, Opcode::FDiv};
+      Opcode Op = FloatOps[R.nextBelow(4)];
+      Available.push_back(B.binary(Op, pick(), pick()));
+      return;
+    }
+    static const Opcode IntOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                    Opcode::And, Opcode::Or,  Opcode::Xor};
+    Opcode Op = IntOps[R.nextBelow(6)];
+    Available.push_back(B.binary(Op, pick(), pick()));
+  }
+
+  static constexpr unsigned ArraySize = 32;
+
+  IRBuilder &B;
+  Rng &R;
+  const RandomProgramOptions &Opts;
+  std::vector<Reg> Available;
+};
+
+} // namespace
+
+Function pira::generateRandomProgram(const RandomProgramOptions &Opts) {
+  Function F("random");
+  IRBuilder B(F);
+  Rng R(Opts.Seed);
+  BodyEmitter Body(B, R, Opts);
+
+  switch (Opts.Shape) {
+  case CfgShape::Straight: {
+    B.startBlock("entry");
+    Body.addAvailable(B.load("m", NoReg, 0));
+    Body.addAvailable(B.loadImm(R.nextInRange(1, 100)));
+    Body.emit(Opts.InstructionsPerBlock);
+    B.br(1);
+    B.startBlock("body");
+    Body.emit(Opts.InstructionsPerBlock);
+    Reg Result = Body.last();
+    B.store("m", Result, NoReg, 1);
+    B.br(2);
+    B.startBlock("exit");
+    B.ret(Result);
+    break;
+  }
+  case CfgShape::Diamond: {
+    B.startBlock("entry");
+    Body.addAvailable(B.load("m", NoReg, 0));
+    Body.addAvailable(B.loadImm(R.nextInRange(1, 100)));
+    Body.emit(Opts.InstructionsPerBlock);
+    Reg Cond = Body.pick();
+    B.condBr(Cond, 1, 2);
+
+    // Each arm extends the entry pool privately; the join may only read
+    // entry-defined values (defined on every path).
+    B.startBlock("then");
+    BodyEmitter Then = Body;
+    Then.emit(Opts.InstructionsPerBlock);
+    B.store("m", Then.last(), NoReg, 2);
+    B.br(3);
+
+    B.startBlock("else");
+    BodyEmitter Else = Body;
+    Else.emit(Opts.InstructionsPerBlock);
+    B.store("m", Else.last(), NoReg, 3);
+    B.br(3);
+
+    B.startBlock("join");
+    Body.emit(Opts.InstructionsPerBlock / 2);
+    Reg Result = Body.last();
+    B.store("m", Result, NoReg, 1);
+    B.ret(Result);
+    break;
+  }
+  case CfgShape::Loop: {
+    B.startBlock("entry");
+    Body.addAvailable(B.load("m", NoReg, 0));
+    Reg Acc = B.loadImm(0);
+    Reg I = B.loadImm(0);
+    Reg N = B.loadImm(static_cast<int64_t>(4 + R.nextBelow(8)));
+    Reg One = B.loadImm(1);
+    Body.addAvailable(Acc);
+    B.br(1);
+
+    B.startBlock("loop");
+    Body.emit(Opts.InstructionsPerBlock);
+    B.binaryInto(Acc, Opcode::Add, Acc, Body.pick());
+    B.binaryInto(I, Opcode::Add, I, One);
+    Reg Cmp = B.binary(Opcode::CmpLt, I, N);
+    B.condBr(Cmp, 1, 2);
+
+    B.startBlock("exit");
+    B.store("m", Acc, NoReg, 1);
+    B.ret(Acc);
+    break;
+  }
+  case CfgShape::NestedDiamond: {
+    B.startBlock("entry"); // 0
+    Body.addAvailable(B.load("m", NoReg, 0));
+    Body.addAvailable(B.loadImm(R.nextInRange(1, 100)));
+    Body.emit(Opts.InstructionsPerBlock);
+    B.condBr(Body.pick(), 1, 4);
+
+    B.startBlock("outer_then"); // 1: contains an inner diamond
+    BodyEmitter Then = Body;
+    Then.emit(Opts.InstructionsPerBlock / 2);
+    B.condBr(Then.pick(), 2, 3);
+
+    B.startBlock("inner_then"); // 2
+    BodyEmitter Inner = Then;
+    Inner.emit(Opts.InstructionsPerBlock / 2);
+    B.store("m", Inner.last(), NoReg, 4);
+    B.br(5);
+
+    B.startBlock("inner_else"); // 3
+    BodyEmitter InnerElse = Then;
+    InnerElse.emit(Opts.InstructionsPerBlock / 2);
+    B.store("m", InnerElse.last(), NoReg, 5);
+    B.br(5);
+
+    B.startBlock("outer_else"); // 4
+    BodyEmitter Else = Body;
+    Else.emit(Opts.InstructionsPerBlock);
+    B.store("m", Else.last(), NoReg, 6);
+    B.br(5);
+
+    B.startBlock("join"); // 5
+    Body.emit(Opts.InstructionsPerBlock / 2);
+    Reg Result = Body.last();
+    B.store("m", Result, NoReg, 1);
+    B.ret(Result);
+    break;
+  }
+  case CfgShape::DoubleLoop: {
+    B.startBlock("entry"); // 0
+    Body.addAvailable(B.load("m", NoReg, 0));
+    Reg Acc = B.loadImm(0);
+    Reg I = B.loadImm(0);
+    Reg N = B.loadImm(static_cast<int64_t>(3 + R.nextBelow(5)));
+    Reg One = B.loadImm(1);
+    Body.addAvailable(Acc);
+    B.br(1);
+
+    B.startBlock("loop1"); // 1
+    Body.emit(Opts.InstructionsPerBlock);
+    B.binaryInto(Acc, Opcode::Add, Acc, Body.pick());
+    B.binaryInto(I, Opcode::Add, I, One);
+    Reg Cmp1 = B.binary(Opcode::CmpLt, I, N);
+    B.condBr(Cmp1, 1, 2);
+
+    B.startBlock("mid"); // 2
+    Reg J = B.loadImm(0);
+    B.br(3);
+
+    B.startBlock("loop2"); // 3
+    Body.emit(Opts.InstructionsPerBlock / 2);
+    B.binaryInto(Acc, Opcode::Xor, Acc, Body.pick());
+    B.binaryInto(J, Opcode::Add, J, One);
+    Reg Cmp2 = B.binary(Opcode::CmpLt, J, N);
+    B.condBr(Cmp2, 3, 4);
+
+    B.startBlock("exit"); // 4
+    B.store("m", Acc, NoReg, 1);
+    B.ret(Acc);
+    break;
+  }
+  }
+  F.declareArray("m", 32);
+  return F;
+}

@@ -1,0 +1,50 @@
+//===- workloads/RandomProgram.h - Seeded program generator -----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic random generator of well-formed symbolic-register
+/// programs, used by property tests (Theorems 1/2, semantic preservation)
+/// and by the randomized sweeps. Every operand reads an
+/// already-defined register, addresses stay within declared bounds, and
+/// the CFG shape is chosen among straight-line, diamond, and counted
+/// loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_WORKLOADS_RANDOMPROGRAM_H
+#define PIRA_WORKLOADS_RANDOMPROGRAM_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+
+namespace pira {
+
+/// Shape of the generated CFG.
+enum class CfgShape {
+  Straight,      ///< entry -> body -> exit
+  Diamond,       ///< entry -> (then | else) -> join
+  Loop,          ///< entry -> counted loop body -> exit
+  NestedDiamond, ///< a diamond whose then-arm contains another diamond
+  DoubleLoop,    ///< two sequential counted loops
+};
+
+/// Generation parameters.
+struct RandomProgramOptions {
+  unsigned InstructionsPerBlock = 16; ///< Value-producing ops per block.
+  unsigned FloatPercent = 40;        ///< Share routed to the FPU.
+  unsigned MemoryPercent = 30;       ///< Share that are loads/stores.
+  CfgShape Shape = CfgShape::Straight;
+  uint64_t Seed = 1;
+};
+
+/// Builds a verifier-clean random program.
+Function generateRandomProgram(const RandomProgramOptions &Opts);
+
+} // namespace pira
+
+#endif // PIRA_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,296 @@
+//===- tests/sched_test.cpp - Scheduling unit tests -----------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+#include "ir/IRBuilder.h"
+#include "ir/Interpreter.h"
+#include "machine/MachineModel.h"
+#include "sched/EPTimes.h"
+#include "sched/ListScheduler.h"
+#include "sched/PreScheduler.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace pira;
+
+namespace {
+
+/// Checks structural legality of \p S for block \p BlockIdx of \p F:
+/// every dependence respected with its latency, no resource oversubscribed.
+void expectLegalSchedule(const Function &F, unsigned BlockIdx,
+                         const BlockSchedule &S, const MachineModel &M) {
+  DependenceGraph G(F, BlockIdx, M);
+  ASSERT_EQ(S.CycleOf.size(), G.size());
+  for (const DepEdge &E : G.edges())
+    EXPECT_GE(S.CycleOf[E.To], S.CycleOf[E.From] + E.Latency)
+        << "edge " << E.From << "->" << E.To << " ("
+        << depKindName(E.Kind) << ") violated";
+  auto Groups = S.groupsByCycle();
+  const BasicBlock &BB = F.block(BlockIdx);
+  for (const auto &Group : Groups) {
+    EXPECT_LE(Group.size(), M.issueWidth());
+    std::array<unsigned, NumUnitKinds> PerUnit{};
+    for (unsigned I : Group)
+      ++PerUnit[static_cast<unsigned>(BB.inst(I).unit())];
+    for (unsigned K = 0; K != NumUnitKinds; ++K)
+      EXPECT_LE(PerUnit[K], M.units(static_cast<UnitKind>(K)));
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EP times and heights
+//===----------------------------------------------------------------------===//
+
+TEST(EPTimesTest, ChainAccumulatesLatency) {
+  Function F("t");
+  IRBuilder B(F);
+  B.startBlock("e");
+  Reg A = B.load("a", NoReg, 0);        // latency 2 on rs6000
+  Reg C = B.binary(Opcode::FMul, A, A); // latency 2
+  Reg D = B.binary(Opcode::FAdd, C, C); // latency 2
+  B.ret(D);
+  MachineModel M = MachineModel::rs6000();
+  DependenceGraph G(F, 0, M);
+  std::vector<unsigned> EP = computeEP(G);
+  EXPECT_EQ(EP[0], 0u);
+  EXPECT_EQ(EP[1], 2u);
+  EXPECT_EQ(EP[2], 4u);
+  EXPECT_EQ(EP[3], 6u);
+}
+
+TEST(EPTimesTest, IndependentOpsShareEPZero) {
+  Function F = paperExample2();
+  DependenceGraph G(F, 0, MachineModel::paperTwoUnit());
+  std::vector<unsigned> EP = computeEP(G);
+  EXPECT_EQ(EP[0], 0u); // load z
+  EXPECT_EQ(EP[1], 0u); // load y
+  EXPECT_EQ(EP[5], 0u); // load x
+  EXPECT_EQ(EP[6], 0u); // load w
+  EXPECT_GT(EP[2], 0u); // add depends on loads
+}
+
+TEST(EPTimesTest, HeightsAreDualOfEP) {
+  Function F = paperExample2();
+  DependenceGraph G(F, 0, MachineModel::paperTwoUnit());
+  std::vector<unsigned> EP = computeEP(G);
+  std::vector<unsigned> H = computeHeights(G);
+  // For every node, EP + height <= critical path length; equality on the
+  // critical path.
+  unsigned CP = 0;
+  for (unsigned V = 0; V != G.size(); ++V)
+    CP = std::max(CP, EP[V] + H[V]);
+  bool Tight = false;
+  for (unsigned V = 0; V != G.size(); ++V) {
+    EXPECT_LE(EP[V] + H[V], CP);
+    Tight |= EP[V] + H[V] == CP;
+  }
+  EXPECT_TRUE(Tight);
+}
+
+TEST(EPTimesTest, SinkHasZeroHeight) {
+  Function F = paperExample2();
+  DependenceGraph G(F, 0, MachineModel::paperTwoUnit());
+  std::vector<unsigned> H = computeHeights(G);
+  EXPECT_EQ(H[G.size() - 1], 0u) << "the terminator is the sink";
+}
+
+//===----------------------------------------------------------------------===//
+// ListScheduler
+//===----------------------------------------------------------------------===//
+
+TEST(ListSchedulerTest, LegalOnEveryKernelAndMachine) {
+  std::vector<MachineModel> Machines = {
+      MachineModel::scalar(), MachineModel::paperTwoUnit(),
+      MachineModel::mipsR3000(), MachineModel::rs6000(),
+      MachineModel::vliw4()};
+  for (auto &[Name, Kernel] : standardKernelSuite())
+    for (const MachineModel &M : Machines) {
+      FunctionSchedule S = scheduleFunction(Kernel, M);
+      for (unsigned B = 0; B != Kernel.numBlocks(); ++B)
+        expectLegalSchedule(Kernel, B, S.Blocks[B], M);
+    }
+}
+
+TEST(ListSchedulerTest, ScalarMachineFullySerializes) {
+  Function F = paperExample2();
+  MachineModel M = MachineModel::scalar();
+  M.setUniformLatency(1);
+  FunctionSchedule S = scheduleFunction(F, M);
+  // Width 1 and unit latency: makespan == instruction count.
+  EXPECT_EQ(S.Blocks[0].Makespan, F.block(0).size());
+}
+
+TEST(ListSchedulerTest, Example2OptimalOnPaperMachine) {
+  // Best possible on the two-unit machine: 4 serial loads (single fetch
+  // unit), adds/muls overlapping, 7 cycles including the ret.
+  Function F = paperExample2();
+  FunctionSchedule S = scheduleFunction(F, MachineModel::paperTwoUnit());
+  EXPECT_EQ(S.Blocks[0].Makespan, 7u);
+}
+
+TEST(ListSchedulerTest, ParallelIssueHappensWhenUnitsAllow) {
+  Function F = paperExample2();
+  FunctionSchedule S = scheduleFunction(F, MachineModel::paperTwoUnit());
+  auto Groups = S.Blocks[0].groupsByCycle();
+  bool AnyPair = false;
+  for (const auto &G : Groups)
+    AnyPair |= G.size() >= 2;
+  EXPECT_TRUE(AnyPair);
+}
+
+TEST(ListSchedulerTest, CriticalPathPriorityBeatsFifoOnSkewedDag) {
+  // Two chains: a long float chain and short int ops. Height priority
+  // must start the long chain first.
+  Function F("t");
+  IRBuilder B(F);
+  B.startBlock("e");
+  Reg A = B.load("a", NoReg, 0);
+  Reg C1 = B.binary(Opcode::FMul, A, A);
+  Reg C2 = B.binary(Opcode::FMul, C1, C1);
+  Reg C3 = B.binary(Opcode::FMul, C2, C2);
+  Reg D = B.loadImm(1);
+  Reg E2 = B.binary(Opcode::Add, D, D);
+  Reg S = B.binary(Opcode::Add, E2, E2);
+  (void)S;
+  B.ret(C3);
+  MachineModel M = MachineModel::rs6000();
+  FunctionSchedule Sch = scheduleFunction(F, M);
+  // The float chain head (inst 0) must issue at cycle 0.
+  EXPECT_EQ(Sch.Blocks[0].CycleOf[0], 0u);
+}
+
+TEST(ListSchedulerTest, RespectsFlowLatency) {
+  Function F("t");
+  IRBuilder B(F);
+  B.startBlock("e");
+  Reg A = B.load("a", NoReg, 0); // rs6000: latency 2
+  Reg C = B.binary(Opcode::Add, A, A);
+  B.ret(C);
+  FunctionSchedule S = scheduleFunction(F, MachineModel::rs6000());
+  EXPECT_GE(S.Blocks[0].CycleOf[1], S.Blocks[0].CycleOf[0] + 2);
+}
+
+TEST(ListSchedulerTest, ReorderBlockKeepsSemantics) {
+  Function F = paperExample2();
+  Function Original = F;
+  FunctionSchedule S = scheduleFunction(F, MachineModel::paperTwoUnit());
+  reorderBlockBySchedule(F, 0, S.Blocks[0]);
+  ExecResult RA = interpret(Original, makeInitialState(Original, 2));
+  ExecResult RB = interpret(F, makeInitialState(F, 2));
+  ASSERT_TRUE(RA.Completed);
+  ASSERT_TRUE(RB.Completed);
+  EXPECT_EQ(RA.ReturnValue, RB.ReturnValue);
+}
+
+TEST(ListSchedulerTest, ReorderReturnsPermutation) {
+  Function F = paperExample2();
+  FunctionSchedule S = scheduleFunction(F, MachineModel::paperTwoUnit());
+  std::vector<unsigned> Perm = reorderBlockBySchedule(F, 0, S.Blocks[0]);
+  std::vector<bool> Seen(Perm.size(), false);
+  for (unsigned P : Perm) {
+    ASSERT_LT(P, Perm.size());
+    EXPECT_FALSE(Seen[P]);
+    Seen[P] = true;
+  }
+  EXPECT_TRUE(F.block(0).hasTerminator());
+}
+
+//===----------------------------------------------------------------------===//
+// PreScheduler
+//===----------------------------------------------------------------------===//
+
+TEST(PreSchedulerTest, KeepsSemanticsOnAllKernels) {
+  for (auto &[Name, Kernel] : standardKernelSuite()) {
+    Function F = Kernel;
+    preScheduleFunction(F, MachineModel::paperTwoUnit());
+    ExecResult RA = interpret(Kernel, makeInitialState(Kernel, 6));
+    ExecResult RB = interpret(F, makeInitialState(F, 6));
+    ASSERT_TRUE(RA.Completed) << Name;
+    ASSERT_TRUE(RB.Completed) << Name << ": " << RB.Error;
+    EXPECT_EQ(RA.HasReturnValue, RB.HasReturnValue) << Name;
+    if (RA.HasReturnValue) {
+      EXPECT_EQ(RA.ReturnValue, RB.ReturnValue) << Name;
+    }
+    EXPECT_TRUE(statesEquivalent(RA.Final, RB.Final)) << Name;
+  }
+}
+
+TEST(PreSchedulerTest, InterleavesIndependentChains) {
+  // Two independent chains written back to back; EP ordering interleaves
+  // them (EP levels alternate).
+  Function F("t");
+  IRBuilder B(F);
+  B.startBlock("e");
+  Reg A = B.load("a", NoReg, 0);
+  Reg A1 = B.binary(Opcode::Add, A, A);
+  Reg A2 = B.binary(Opcode::Add, A1, A1);
+  Reg C = B.load("c", NoReg, 0);
+  Reg C1 = B.binary(Opcode::FMul, C, C);
+  Reg C2 = B.binary(Opcode::FMul, C1, C1);
+  Reg S = B.binary(Opcode::FAdd, A2, C2);
+  B.ret(S);
+  Function Before = F;
+  unsigned Moved = preScheduleFunction(F, MachineModel::paperTwoUnit());
+  EXPECT_GT(Moved, 0u) << "the second chain's load must move up";
+  // load c must now come before the end of the first chain.
+  unsigned PosLoadC = ~0u, PosA2 = ~0u;
+  for (unsigned I = 0; I != F.block(0).size(); ++I) {
+    const Instruction &Inst = F.block(0).inst(I);
+    if (Inst.opcode() == Opcode::Load && Inst.arraySymbol() == "c")
+      PosLoadC = I;
+    if (Inst.hasDef() && Inst.def() == A2)
+      PosA2 = I;
+  }
+  ASSERT_NE(PosLoadC, ~0u);
+  ASSERT_NE(PosA2, ~0u);
+  EXPECT_LT(PosLoadC, PosA2);
+}
+
+TEST(PreSchedulerTest, TerminatorStaysLast) {
+  for (auto &[Name, Kernel] : standardKernelSuite()) {
+    Function F = Kernel;
+    preScheduleFunction(F, MachineModel::vliw4());
+    for (unsigned B = 0; B != F.numBlocks(); ++B)
+      EXPECT_TRUE(F.block(B).hasTerminator()) << Name;
+  }
+}
+
+TEST(PreSchedulerTest, IdempotentOnSecondRun) {
+  Function F = paperExample2();
+  preScheduleFunction(F, MachineModel::paperTwoUnit());
+  Function Once = F;
+  unsigned Moved = preScheduleFunction(F, MachineModel::paperTwoUnit());
+  EXPECT_EQ(Moved, 0u);
+  // Identical instruction sequence.
+  for (unsigned I = 0; I != F.block(0).size(); ++I)
+    EXPECT_EQ(F.block(0).inst(I).opcode(), Once.block(0).inst(I).opcode());
+}
+
+TEST(PreSchedulerTest, PostponesBeyondMachineWidth) {
+  // Three independent int adds on a machine with one ALU: EP forces them
+  // into distinct levels.
+  Function F("t");
+  IRBuilder B(F);
+  B.startBlock("e");
+  Reg A = B.loadImm(1);
+  Reg X = B.binary(Opcode::Add, A, A);
+  Reg Y = B.binary(Opcode::Sub, A, A);
+  Reg Z = B.binary(Opcode::Xor, A, A);
+  Reg S1 = B.binary(Opcode::Or, X, Y);
+  Reg S2 = B.binary(Opcode::And, S1, Z);
+  B.ret(S2);
+  preScheduleFunction(F, MachineModel::paperTwoUnit());
+  ExecResult R = interpret(F, makeInitialState(F, 0));
+  ASSERT_TRUE(R.Completed);
+  // 1 ^ 1 = 0; (2 | 0) & 0 = 0.
+  EXPECT_EQ(R.ReturnValue, 0);
+}

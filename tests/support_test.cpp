@@ -1,0 +1,329 @@
+//===- tests/support_test.cpp - Support ADT unit tests --------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitMatrix.h"
+#include "support/BitVector.h"
+#include "support/DotWriter.h"
+#include "support/Rng.h"
+#include "support/UndirectedGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace pira;
+
+//===----------------------------------------------------------------------===//
+// BitVector
+//===----------------------------------------------------------------------===//
+
+TEST(BitVectorTest, StartsEmpty) {
+  BitVector V(100);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_TRUE(V.none());
+  EXPECT_FALSE(V.any());
+  EXPECT_EQ(V.count(), 0u);
+  EXPECT_EQ(V.findFirst(), -1);
+}
+
+TEST(BitVectorTest, SetTestReset) {
+  BitVector V(130);
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 4u);
+  V.reset(63);
+  EXPECT_FALSE(V.test(63));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+TEST(BitVectorTest, ConstructAllOnes) {
+  BitVector V(70, true);
+  EXPECT_EQ(V.count(), 70u);
+  EXPECT_TRUE(V.test(69));
+}
+
+TEST(BitVectorTest, SetAllRespectsSize) {
+  BitVector V(70);
+  V.setAll();
+  EXPECT_EQ(V.count(), 70u);
+}
+
+TEST(BitVectorTest, FindFirstAndNextIterateAscending) {
+  BitVector V(200);
+  std::set<unsigned> Expected = {3, 64, 65, 127, 128, 199};
+  for (unsigned B : Expected)
+    V.set(B);
+  std::set<unsigned> Seen;
+  for (int I = V.findFirst(); I != -1;
+       I = V.findNext(static_cast<unsigned>(I)))
+    Seen.insert(static_cast<unsigned>(I));
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(BitVectorTest, FindNextPastEndReturnsMinusOne) {
+  BitVector V(64);
+  V.set(63);
+  EXPECT_EQ(V.findNext(63), -1);
+}
+
+TEST(BitVectorTest, UnionReportsChange) {
+  BitVector A(64), B(64);
+  B.set(7);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B));
+  EXPECT_TRUE(A.test(7));
+}
+
+TEST(BitVectorTest, IntersectAndSubtract) {
+  BitVector A(64), B(64);
+  A.set(1);
+  A.set(2);
+  A.set(3);
+  B.set(2);
+  B.set(3);
+  B.set(4);
+  BitVector I = A;
+  I.intersectWith(B);
+  EXPECT_EQ(I.count(), 2u);
+  EXPECT_TRUE(I.test(2));
+  EXPECT_TRUE(I.test(3));
+  BitVector D = A;
+  D.subtract(B);
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(1));
+}
+
+TEST(BitVectorTest, FlipAllStaysInDeclaredSize) {
+  BitVector V(70);
+  V.set(0);
+  V.flipAll();
+  EXPECT_EQ(V.count(), 69u);
+  EXPECT_FALSE(V.test(0));
+  EXPECT_TRUE(V.test(69));
+}
+
+TEST(BitVectorTest, ResizePreservesAndZeroExtends) {
+  BitVector V(10);
+  V.set(9);
+  V.resize(100);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_EQ(V.count(), 1u);
+  EXPECT_FALSE(V.test(99));
+}
+
+TEST(BitVectorTest, EqualityComparesSizeAndBits) {
+  BitVector A(10), B(10), C(11);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  B.set(3);
+  EXPECT_NE(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// BitMatrix
+//===----------------------------------------------------------------------===//
+
+TEST(BitMatrixTest, SetAndTest) {
+  BitMatrix M(5);
+  M.set(1, 3);
+  EXPECT_TRUE(M.test(1, 3));
+  EXPECT_FALSE(M.test(3, 1));
+  M.setSymmetric(2, 4);
+  EXPECT_TRUE(M.test(2, 4));
+  EXPECT_TRUE(M.test(4, 2));
+}
+
+TEST(BitMatrixTest, TransitiveClosureChain) {
+  BitMatrix M(4);
+  M.set(0, 1);
+  M.set(1, 2);
+  M.set(2, 3);
+  M.transitiveClosure();
+  EXPECT_TRUE(M.test(0, 2));
+  EXPECT_TRUE(M.test(0, 3));
+  EXPECT_TRUE(M.test(1, 3));
+  EXPECT_FALSE(M.test(3, 0));
+  EXPECT_FALSE(M.test(0, 0));
+}
+
+TEST(BitMatrixTest, TransitiveClosureCycleIncludesSelf) {
+  BitMatrix M(3);
+  M.set(0, 1);
+  M.set(1, 0);
+  M.transitiveClosure();
+  EXPECT_TRUE(M.test(0, 0));
+  EXPECT_TRUE(M.test(1, 1));
+  EXPECT_FALSE(M.test(2, 2));
+}
+
+TEST(BitMatrixTest, SymmetrizeAddsTranspose) {
+  BitMatrix M(3);
+  M.set(0, 2);
+  M.symmetrize();
+  EXPECT_TRUE(M.test(2, 0));
+  EXPECT_TRUE(M.test(0, 2));
+}
+
+TEST(BitMatrixTest, ComplementOffDiagonal) {
+  BitMatrix M(3);
+  M.set(0, 1);
+  M.complementOffDiagonal();
+  EXPECT_FALSE(M.test(0, 1));
+  EXPECT_TRUE(M.test(1, 0));
+  EXPECT_TRUE(M.test(0, 2));
+  EXPECT_FALSE(M.test(0, 0));
+  EXPECT_FALSE(M.test(1, 1));
+}
+
+TEST(BitMatrixTest, CountSumsAllEntries) {
+  BitMatrix M(4);
+  M.set(0, 1);
+  M.set(2, 3);
+  M.set(3, 2);
+  EXPECT_EQ(M.count(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// UndirectedGraph
+//===----------------------------------------------------------------------===//
+
+TEST(UndirectedGraphTest, AddRemoveEdge) {
+  UndirectedGraph G(4);
+  EXPECT_TRUE(G.addEdge(0, 1));
+  EXPECT_FALSE(G.addEdge(1, 0)) << "duplicate edge must be rejected";
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_TRUE(G.removeEdge(0, 1));
+  EXPECT_FALSE(G.removeEdge(0, 1));
+  EXPECT_EQ(G.numEdges(), 0u);
+  EXPECT_EQ(G.degree(0), 0u);
+}
+
+TEST(UndirectedGraphTest, NeighborListAscending) {
+  UndirectedGraph G(5);
+  G.addEdge(2, 4);
+  G.addEdge(2, 0);
+  G.addEdge(2, 3);
+  std::vector<unsigned> Expected = {0, 3, 4};
+  EXPECT_EQ(G.neighborList(2), Expected);
+}
+
+TEST(UndirectedGraphTest, EdgeListLexicographic) {
+  UndirectedGraph G(4);
+  G.addEdge(3, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 0);
+  std::vector<std::pair<unsigned, unsigned>> Expected = {
+      {0, 1}, {0, 2}, {1, 3}};
+  EXPECT_EQ(G.edgeList(), Expected);
+}
+
+TEST(UndirectedGraphTest, UnionWithMergesEdges) {
+  UndirectedGraph A(3), B(3);
+  A.addEdge(0, 1);
+  B.addEdge(1, 2);
+  B.addEdge(0, 1);
+  A.unionWith(B);
+  EXPECT_EQ(A.numEdges(), 2u);
+  EXPECT_TRUE(A.hasEdge(1, 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(12345), B(12345);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 16 && !AnyDifferent; ++I)
+    AnyDifferent = A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, ZeroSeedIsRemapped) {
+  Rng R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// DotWriter
+//===----------------------------------------------------------------------===//
+
+TEST(DotWriterTest, EmitsWellFormedGraph) {
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "g", /*Directed=*/false);
+    W.node(0, "a");
+    W.node(1, "b", "shape=box");
+    W.edge(0, 1, "style=dashed");
+  }
+  std::string S = OS.str();
+  EXPECT_NE(S.find("graph g {"), std::string::npos);
+  EXPECT_NE(S.find("n0 [label=\"a\"];"), std::string::npos);
+  EXPECT_NE(S.find("shape=box"), std::string::npos);
+  EXPECT_NE(S.find("n0 -- n1 [style=dashed];"), std::string::npos);
+  EXPECT_NE(S.find("}"), std::string::npos);
+}
+
+TEST(DotWriterTest, DirectedUsesArrows) {
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "d", /*Directed=*/true);
+    W.edge(2, 5);
+  }
+  EXPECT_NE(OS.str().find("digraph d {"), std::string::npos);
+  EXPECT_NE(OS.str().find("n2 -> n5;"), std::string::npos);
+}
+
+TEST(DotWriterTest, AllEdgesDumpsGraph) {
+  UndirectedGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  std::ostringstream OS;
+  {
+    DotWriter W(OS, "g", false);
+    W.allEdges(G);
+  }
+  EXPECT_NE(OS.str().find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(OS.str().find("n1 -- n2"), std::string::npos);
+}
