@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_dot.dir/figures_dot.cpp.o"
+  "CMakeFiles/figures_dot.dir/figures_dot.cpp.o.d"
+  "figures_dot"
+  "figures_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_example1.dir/figures_example1.cpp.o"
+  "CMakeFiles/figures_example1.dir/figures_example1.cpp.o.d"
+  "figures_example1"
+  "figures_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_example2.dir/figures_example2.cpp.o"
+  "CMakeFiles/figures_example2.dir/figures_example2.cpp.o.d"
+  "figures_example2"
+  "figures_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

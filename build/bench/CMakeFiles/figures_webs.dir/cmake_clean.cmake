@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_webs.dir/figures_webs.cpp.o"
+  "CMakeFiles/figures_webs.dir/figures_webs.cpp.o.d"
+  "figures_webs"
+  "figures_webs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_webs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_ablation.dir/heuristic_ablation.cpp.o"
+  "CMakeFiles/heuristic_ablation.dir/heuristic_ablation.cpp.o.d"
+  "heuristic_ablation"
+  "heuristic_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

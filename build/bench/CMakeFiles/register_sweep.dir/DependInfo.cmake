@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/register_sweep.cpp" "bench/CMakeFiles/register_sweep.dir/register_sweep.cpp.o" "gcc" "bench/CMakeFiles/register_sweep.dir/register_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/pira_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pira_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/pira_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/pira_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pira_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pira_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

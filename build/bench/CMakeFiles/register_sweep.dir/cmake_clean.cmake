@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_sweep.dir/register_sweep.cpp.o"
+  "CMakeFiles/register_sweep.dir/register_sweep.cpp.o.d"
+  "register_sweep"
+  "register_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_validation.dir/theorem1_validation.cpp.o"
+  "CMakeFiles/theorem1_validation.dir/theorem1_validation.cpp.o.d"
+  "theorem1_validation"
+  "theorem1_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

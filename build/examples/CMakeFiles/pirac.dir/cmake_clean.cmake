@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pirac.dir/pirac.cpp.o"
+  "CMakeFiles/pirac.dir/pirac.cpp.o.d"
+  "pirac"
+  "pirac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pirac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

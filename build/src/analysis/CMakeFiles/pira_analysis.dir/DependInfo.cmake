@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DependenceGraph.cpp" "src/analysis/CMakeFiles/pira_analysis.dir/DependenceGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/pira_analysis.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/pira_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/pira_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/pira_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/pira_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Regions.cpp" "src/analysis/CMakeFiles/pira_analysis.dir/Regions.cpp.o" "gcc" "src/analysis/CMakeFiles/pira_analysis.dir/Regions.cpp.o.d"
+  "/root/repo/src/analysis/Webs.cpp" "src/analysis/CMakeFiles/pira_analysis.dir/Webs.cpp.o" "gcc" "src/analysis/CMakeFiles/pira_analysis.dir/Webs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pira_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_analysis.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/pira_analysis.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/pira_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/pira_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/pira_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/pira_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/pira_analysis.dir/Regions.cpp.o"
+  "CMakeFiles/pira_analysis.dir/Regions.cpp.o.d"
+  "CMakeFiles/pira_analysis.dir/Webs.cpp.o"
+  "CMakeFiles/pira_analysis.dir/Webs.cpp.o.d"
+  "libpira_analysis.a"
+  "libpira_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AugmentedPig.cpp" "src/core/CMakeFiles/pira_core.dir/AugmentedPig.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/AugmentedPig.cpp.o.d"
+  "/root/repo/src/core/FalseDepChecker.cpp" "src/core/CMakeFiles/pira_core.dir/FalseDepChecker.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/FalseDepChecker.cpp.o.d"
+  "/root/repo/src/core/FalseDependenceGraph.cpp" "src/core/CMakeFiles/pira_core.dir/FalseDependenceGraph.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/FalseDependenceGraph.cpp.o.d"
+  "/root/repo/src/core/ParallelInterferenceGraph.cpp" "src/core/CMakeFiles/pira_core.dir/ParallelInterferenceGraph.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/ParallelInterferenceGraph.cpp.o.d"
+  "/root/repo/src/core/PigScheduler.cpp" "src/core/CMakeFiles/pira_core.dir/PigScheduler.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/PigScheduler.cpp.o.d"
+  "/root/repo/src/core/PinterAllocator.cpp" "src/core/CMakeFiles/pira_core.dir/PinterAllocator.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/PinterAllocator.cpp.o.d"
+  "/root/repo/src/core/RegionHoist.cpp" "src/core/CMakeFiles/pira_core.dir/RegionHoist.cpp.o" "gcc" "src/core/CMakeFiles/pira_core.dir/RegionHoist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regalloc/CMakeFiles/pira_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pira_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pira_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_core.dir/AugmentedPig.cpp.o"
+  "CMakeFiles/pira_core.dir/AugmentedPig.cpp.o.d"
+  "CMakeFiles/pira_core.dir/FalseDepChecker.cpp.o"
+  "CMakeFiles/pira_core.dir/FalseDepChecker.cpp.o.d"
+  "CMakeFiles/pira_core.dir/FalseDependenceGraph.cpp.o"
+  "CMakeFiles/pira_core.dir/FalseDependenceGraph.cpp.o.d"
+  "CMakeFiles/pira_core.dir/ParallelInterferenceGraph.cpp.o"
+  "CMakeFiles/pira_core.dir/ParallelInterferenceGraph.cpp.o.d"
+  "CMakeFiles/pira_core.dir/PigScheduler.cpp.o"
+  "CMakeFiles/pira_core.dir/PigScheduler.cpp.o.d"
+  "CMakeFiles/pira_core.dir/PinterAllocator.cpp.o"
+  "CMakeFiles/pira_core.dir/PinterAllocator.cpp.o.d"
+  "CMakeFiles/pira_core.dir/RegionHoist.cpp.o"
+  "CMakeFiles/pira_core.dir/RegionHoist.cpp.o.d"
+  "libpira_core.a"
+  "libpira_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

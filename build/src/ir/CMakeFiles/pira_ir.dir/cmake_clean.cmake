@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/pira_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/pira_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/pira_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/pira_ir.dir/Parser.cpp.o"
+  "CMakeFiles/pira_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/pira_ir.dir/Printer.cpp.o"
+  "CMakeFiles/pira_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/pira_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/pira_ir.dir/Verifier.cpp.o.d"
+  "libpira_ir.a"
+  "libpira_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

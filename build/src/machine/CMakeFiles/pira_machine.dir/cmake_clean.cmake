@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_machine.dir/MachineConfig.cpp.o"
+  "CMakeFiles/pira_machine.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/pira_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/pira_machine.dir/MachineModel.cpp.o.d"
+  "libpira_machine.a"
+  "libpira_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

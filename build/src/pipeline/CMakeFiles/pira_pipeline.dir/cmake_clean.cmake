@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_pipeline.dir/Strategies.cpp.o"
+  "CMakeFiles/pira_pipeline.dir/Strategies.cpp.o.d"
+  "libpira_pipeline.a"
+  "libpira_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/Allocation.cpp" "src/regalloc/CMakeFiles/pira_regalloc.dir/Allocation.cpp.o" "gcc" "src/regalloc/CMakeFiles/pira_regalloc.dir/Allocation.cpp.o.d"
+  "/root/repo/src/regalloc/ChaitinAllocator.cpp" "src/regalloc/CMakeFiles/pira_regalloc.dir/ChaitinAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pira_regalloc.dir/ChaitinAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/InterferenceGraph.cpp" "src/regalloc/CMakeFiles/pira_regalloc.dir/InterferenceGraph.cpp.o" "gcc" "src/regalloc/CMakeFiles/pira_regalloc.dir/InterferenceGraph.cpp.o.d"
+  "/root/repo/src/regalloc/SpillCost.cpp" "src/regalloc/CMakeFiles/pira_regalloc.dir/SpillCost.cpp.o" "gcc" "src/regalloc/CMakeFiles/pira_regalloc.dir/SpillCost.cpp.o.d"
+  "/root/repo/src/regalloc/SpillInserter.cpp" "src/regalloc/CMakeFiles/pira_regalloc.dir/SpillInserter.cpp.o" "gcc" "src/regalloc/CMakeFiles/pira_regalloc.dir/SpillInserter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pira_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_regalloc.dir/Allocation.cpp.o"
+  "CMakeFiles/pira_regalloc.dir/Allocation.cpp.o.d"
+  "CMakeFiles/pira_regalloc.dir/ChaitinAllocator.cpp.o"
+  "CMakeFiles/pira_regalloc.dir/ChaitinAllocator.cpp.o.d"
+  "CMakeFiles/pira_regalloc.dir/InterferenceGraph.cpp.o"
+  "CMakeFiles/pira_regalloc.dir/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/pira_regalloc.dir/SpillCost.cpp.o"
+  "CMakeFiles/pira_regalloc.dir/SpillCost.cpp.o.d"
+  "CMakeFiles/pira_regalloc.dir/SpillInserter.cpp.o"
+  "CMakeFiles/pira_regalloc.dir/SpillInserter.cpp.o.d"
+  "libpira_regalloc.a"
+  "libpira_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_sched.dir/EPTimes.cpp.o"
+  "CMakeFiles/pira_sched.dir/EPTimes.cpp.o.d"
+  "CMakeFiles/pira_sched.dir/IntegratedPrepass.cpp.o"
+  "CMakeFiles/pira_sched.dir/IntegratedPrepass.cpp.o.d"
+  "CMakeFiles/pira_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/pira_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/pira_sched.dir/PreScheduler.cpp.o"
+  "CMakeFiles/pira_sched.dir/PreScheduler.cpp.o.d"
+  "libpira_sched.a"
+  "libpira_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

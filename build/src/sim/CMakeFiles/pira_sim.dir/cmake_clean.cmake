@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_sim.dir/SuperscalarSim.cpp.o"
+  "CMakeFiles/pira_sim.dir/SuperscalarSim.cpp.o.d"
+  "libpira_sim.a"
+  "libpira_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

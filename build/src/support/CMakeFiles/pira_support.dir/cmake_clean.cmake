@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_support.dir/DotWriter.cpp.o"
+  "CMakeFiles/pira_support.dir/DotWriter.cpp.o.d"
+  "libpira_support.a"
+  "libpira_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

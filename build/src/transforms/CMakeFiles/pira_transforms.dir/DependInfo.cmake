@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/Cleanup.cpp" "src/transforms/CMakeFiles/pira_transforms.dir/Cleanup.cpp.o" "gcc" "src/transforms/CMakeFiles/pira_transforms.dir/Cleanup.cpp.o.d"
+  "/root/repo/src/transforms/LoopUnroller.cpp" "src/transforms/CMakeFiles/pira_transforms.dir/LoopUnroller.cpp.o" "gcc" "src/transforms/CMakeFiles/pira_transforms.dir/LoopUnroller.cpp.o.d"
+  "/root/repo/src/transforms/Normalize.cpp" "src/transforms/CMakeFiles/pira_transforms.dir/Normalize.cpp.o" "gcc" "src/transforms/CMakeFiles/pira_transforms.dir/Normalize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pira_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

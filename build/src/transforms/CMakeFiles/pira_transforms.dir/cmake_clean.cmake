@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_transforms.dir/Cleanup.cpp.o"
+  "CMakeFiles/pira_transforms.dir/Cleanup.cpp.o.d"
+  "CMakeFiles/pira_transforms.dir/LoopUnroller.cpp.o"
+  "CMakeFiles/pira_transforms.dir/LoopUnroller.cpp.o.d"
+  "CMakeFiles/pira_transforms.dir/Normalize.cpp.o"
+  "CMakeFiles/pira_transforms.dir/Normalize.cpp.o.d"
+  "libpira_transforms.a"
+  "libpira_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

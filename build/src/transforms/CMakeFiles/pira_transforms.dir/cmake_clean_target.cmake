@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpira_transforms.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/pira_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/pira_workloads.dir/RandomProgram.cpp.o"
+  "CMakeFiles/pira_workloads.dir/RandomProgram.cpp.o.d"
+  "libpira_workloads.a"
+  "libpira_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

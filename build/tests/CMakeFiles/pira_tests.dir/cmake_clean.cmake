@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pira_tests.dir/analysis_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/analysis_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/core_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/ir_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/ir_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/machine_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/machine_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/property_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/regalloc_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/regalloc_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/sched_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/sched_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/support_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/support_test.cpp.o.d"
+  "CMakeFiles/pira_tests.dir/transforms_test.cpp.o"
+  "CMakeFiles/pira_tests.dir/transforms_test.cpp.o.d"
+  "pira_tests"
+  "pira_tests.pdb"
+  "pira_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pira_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
