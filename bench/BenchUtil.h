@@ -8,7 +8,9 @@
 /// \file
 /// Small formatting helpers shared by the figure/evaluation binaries:
 /// fixed-width tables, edge-list rendering in the paper's s1..sN
-/// notation, and cycle diagrams.
+/// notation, cycle diagrams, reproducibility knobs (PIRA_BENCH_ITERS /
+/// PIRA_BENCH_SEED), and the BENCH_*.json report writer that makes bench
+/// output machine-readable across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,8 +20,12 @@
 #include "ir/Function.h"
 #include "ir/Printer.h"
 #include "sched/Schedule.h"
+#include "support/Json.h"
 #include "support/UndirectedGraph.h"
 
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -28,6 +34,61 @@
 
 namespace pira {
 namespace bench {
+
+/// Parses a non-negative integer environment override; \p Default when
+/// the variable is unset or unparsable.
+inline uint64_t envUint(const char *Name, uint64_t Default) {
+  const char *Raw = std::getenv(Name);
+  // strtoull silently wraps negative input, so insist on a leading digit.
+  if (Raw == nullptr || *Raw < '0' || *Raw > '9')
+    return Default;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Raw, &End, 10);
+  return (End == nullptr || *End != '\0') ? Default
+                                          : static_cast<uint64_t>(V);
+}
+
+/// Iteration count for timing loops; override with PIRA_BENCH_ITERS.
+inline unsigned benchIterations(unsigned Default = 1) {
+  return static_cast<unsigned>(envUint("PIRA_BENCH_ITERS", Default));
+}
+
+/// Seed for workload generation / simulation; override with
+/// PIRA_BENCH_SEED.
+inline uint64_t benchSeed(uint64_t Default = 42) {
+  return envUint("PIRA_BENCH_SEED", Default);
+}
+
+/// Starts a "pira.bench" version-1 JSON document with the shared
+/// preamble: bench name plus the reproducibility parameters in effect.
+inline json::Value makeBenchReport(const std::string &BenchName,
+                                   unsigned Iterations, uint64_t Seed) {
+  json::Value Root = json::Value::object();
+  Root.set("schema", "pira.bench");
+  Root.set("version", 1);
+  Root.set("bench", BenchName);
+  Root.set("iterations", Iterations);
+  Root.set("seed", Seed);
+  return Root;
+}
+
+/// Writes \p Report to BENCH_<name>.json in the working directory (the
+/// driver collects these per-PR). Returns false on I/O failure after
+/// printing a warning — benches keep their human-readable exit status.
+inline bool writeBenchReport(const std::string &BenchName,
+                             const json::Value &Report) {
+  std::string Path = "BENCH_" + BenchName + ".json";
+  std::ofstream Out(Path);
+  if (Out)
+    Report.write(Out, 0);
+  Out << '\n';
+  if (!Out) {
+    std::cerr << "warning: could not write " << Path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << Path << '\n';
+  return true;
+}
 
 /// Renders an undirected edge list `{s1,s4} {s2,s3} ...` in the paper's
 /// 1-based notation, restricted to vertices < Limit.

@@ -10,7 +10,14 @@
 // engineering claim that the construction is practical: the closure is
 // the asymptotic bottleneck at O(V^2 * V/64) bit steps.
 //
+// A custom main wraps the console reporter so every run also lands in
+// BENCH_perf_algorithms.json ("pira.bench" schema) with the
+// PIRA_BENCH_SEED in effect recorded, keeping the perf trajectory
+// machine-readable across PRs.
+//
 //===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
 
 #include "analysis/DependenceGraph.h"
 #include "analysis/Webs.h"
@@ -34,7 +41,7 @@ namespace {
 Function makeBlock(unsigned Instructions) {
   RandomProgramOptions Opts;
   Opts.InstructionsPerBlock = Instructions / 2; // two body blocks
-  Opts.Seed = 4242;
+  Opts.Seed = pira::bench::benchSeed(4242);
   Opts.FloatPercent = 40;
   Opts.MemoryPercent = 25;
   return generateRandomProgram(Opts);
@@ -129,6 +136,49 @@ void BM_CombinedPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_CombinedPipeline)->Arg(32)->Arg(128);
 
+/// Forwards to the console reporter while collecting every run into a
+/// "pira.bench" JSON document written at exit.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+  JsonTeeReporter()
+      : Report(pira::bench::makeBenchReport(
+            "perf_algorithms", pira::bench::benchIterations(0),
+            pira::bench::benchSeed(4242))),
+        Results(pira::json::Value::array()) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      pira::json::Value Row = pira::json::Value::object();
+      Row.set("name", R.benchmark_name());
+      Row.set("iterations", static_cast<int64_t>(R.iterations));
+      Row.set("real_time_ns", R.GetAdjustedRealTime());
+      Row.set("cpu_time_ns", R.GetAdjustedCPUTime());
+      if (R.error_occurred)
+        Row.set("error", R.error_message);
+      Results.push(std::move(Row));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+  void Finalize() override {
+    Report.set("results", std::move(Results));
+    pira::bench::writeBenchReport("perf_algorithms", Report);
+    ConsoleReporter::Finalize();
+  }
+
+private:
+  pira::json::Value Report;
+  pira::json::Value Results;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonTeeReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return 0;
+}

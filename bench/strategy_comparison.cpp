@@ -11,14 +11,23 @@
 // the kernel suite on every machine model, measuring dynamic cycles in
 // the superscalar simulator along with spills and false dependences.
 //
+// Besides the human-readable tables it writes
+// BENCH_strategy_comparison.json (the "pira.bench" schema) so the
+// numbers are diffable across PRs. PIRA_BENCH_SEED picks the simulation
+// seed and PIRA_BENCH_ITERS repeats each pipeline for wall-time
+// averaging; both are recorded in the report.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "machine/MachineModel.h"
+#include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
 #include "workloads/Kernels.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
@@ -31,6 +40,9 @@ int main() {
             << " combined (the paper's framework)\n"
             << "==========================================================\n";
 
+  const unsigned Iters = benchIterations(1);
+  const uint64_t Seed = benchSeed(42);
+
   std::vector<MachineModel> Machines = {MachineModel::paperTwoUnit(6),
                                         MachineModel::rs6000(6),
                                         MachineModel::vliw4(6)};
@@ -39,6 +51,9 @@ int main() {
                                  StrategyKind::IntegratedPrepass,
                                  StrategyKind::Combined};
   bool AllOk = true;
+
+  json::Value Report = makeBenchReport("strategy_comparison", Iters, Seed);
+  json::Value Results = json::Value::array();
 
   for (const MachineModel &M : Machines) {
     std::cout << "\n--- machine: " << M.name() << " ("
@@ -50,10 +65,27 @@ int main() {
 
     for (auto &[Name, Kernel] : standardKernelSuite()) {
       PipelineResult R[4];
-      for (unsigned K = 0; K != 4; ++K)
-        R[K] = runAndMeasure(Kinds[K], Kernel, M);
+      double WallNs[4] = {0, 0, 0, 0};
+      for (unsigned K = 0; K != 4; ++K) {
+        auto Start = std::chrono::steady_clock::now();
+        for (unsigned It = 0; It != Iters; ++It)
+          R[K] = runAndMeasure(Kinds[K], Kernel, M, {}, Seed);
+        auto End = std::chrono::steady_clock::now();
+        WallNs[K] =
+            std::chrono::duration<double, std::nano>(End - Start).count() /
+            std::max(1u, Iters);
+      }
       bool Ok = R[0].Success && R[1].Success && R[2].Success && R[3].Success;
       AllOk &= Ok;
+      for (unsigned K = 0; K != 4; ++K) {
+        json::Value Row = json::Value::object();
+        Row.set("machine", M.name());
+        Row.set("kernel", Name);
+        Row.set("strategy", strategyName(Kinds[K]));
+        Row.set("wall_ns_per_run", WallNs[K]);
+        Row.set("pipeline", pipelineResultToJson(R[K]));
+        Results.push(std::move(Row));
+      }
       if (!Ok) {
         T.addRow({Name, "(failed)", "-", "-", "-", "-", "-"});
         continue;
@@ -77,6 +109,11 @@ int main() {
               << "x   goodman-hsu-ips "
               << cell(std::exp(LogSum[2] / Counted), 3) << "x\n";
   }
+
+  Report.set("results", std::move(Results));
+  Report.set("counters", countersToJson());
+  Report.set("all_ok", AllOk);
+  writeBenchReport("strategy_comparison", Report);
 
   std::cout << "\nExpected shape (paper Sections 1 and 3): combined is\n"
             << "never slower than alloc-first on parallel machines, has\n"

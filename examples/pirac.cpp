@@ -13,6 +13,8 @@
 //          [--strategy alloc-first|sched-first|ips|combined]
 //          [--machine scalar|paper|mips|rs6000|vliw4]
 //          [--machine-file desc.mach] [--regs N] [--dump-graphs]
+//          [--trace-out trace.json] [--stats-out stats.json]
+//          [--time-passes]
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +28,9 @@
 #include "ir/Verifier.h"
 #include "machine/MachineConfig.h"
 #include "machine/MachineModel.h"
+#include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
+#include "support/Telemetry.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -66,6 +70,9 @@ int main(int argc, char **argv) {
   MachineModel Machine = MachineModel::rs6000();
   unsigned Regs = 0;
   bool DumpGraphs = false;
+  std::string TraceOut;
+  std::string StatsOut;
+  bool TimePasses = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -126,6 +133,12 @@ int main(int argc, char **argv) {
       Regs = static_cast<unsigned>(std::atoi(NextValue().c_str()));
     } else if (Arg == "--dump-graphs") {
       DumpGraphs = true;
+    } else if (Arg == "--trace-out") {
+      TraceOut = NextValue();
+    } else if (Arg == "--stats-out") {
+      StatsOut = NextValue();
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
     } else if (Arg == "-") {
       std::ostringstream SS;
       SS << std::cin.rdbuf();
@@ -183,9 +196,38 @@ int main(int argc, char **argv) {
   std::cout << "; compiling @" << F.name() << " with "
             << strategyName(Strategy) << " for " << Machine.name() << " ("
             << Machine.numPhysRegs() << " regs)\n\n";
+
+  // Telemetry is opt-in: any observability flag turns on scope recording
+  // for the compilation that follows.
+  if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
+    telemetry::setEnabled(true);
+
   PipelineResult R = runAndMeasure(Strategy, F, Machine);
+
+  // Reports are written even for failed runs — a trace of a failing
+  // pipeline is exactly when you want one.
+  auto EmitReports = [&]() -> bool {
+    bool Ok = true;
+    std::string ReportError;
+    if (!TraceOut.empty() &&
+        !telemetry::writeChromeTraceFile(TraceOut, ReportError)) {
+      std::cerr << "trace-out: " << ReportError << '\n';
+      Ok = false;
+    }
+    if (!StatsOut.empty() &&
+        !writeJsonFile(makeStatsReport(R, strategyName(Strategy), Machine),
+                       StatsOut, ReportError)) {
+      std::cerr << "stats-out: " << ReportError << '\n';
+      Ok = false;
+    }
+    if (TimePasses)
+      telemetry::printTimerReport(std::cerr);
+    return Ok;
+  };
+
   if (!R.Success) {
     std::cerr << "compilation failed: " << R.Error << '\n';
+    EmitReports();
     return 1;
   }
 
@@ -209,5 +251,5 @@ int main(int argc, char **argv) {
             << "\n; dynamic cycles:   " << R.DynCycles
             << "\n; semantics check:  "
             << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
-  return 0;
+  return EmitReports() ? 0 : 1;
 }

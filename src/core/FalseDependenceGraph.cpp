@@ -10,8 +10,14 @@
 #include "analysis/DependenceGraph.h"
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
+#include "support/Telemetry.h"
 
 using namespace pira;
+
+PIRA_STAT(NumFdgParallelPairs,
+          "Instruction pairs found co-issuable (Ef edges)");
+PIRA_STAT(NumFdgMachineConstraintPairs,
+          "Instruction pairs serialized by unit/width contention alone");
 
 FalseDependenceGraph::FalseDependenceGraph(const Function &F,
                                            unsigned BlockIdx,
@@ -30,6 +36,7 @@ FalseDependenceGraph::FalseDependenceGraph(const Function &F,
 void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
                                  const DependenceGraph &Gs,
                                  const MachineModel &Machine) {
+  PIRA_TIME_SCOPE("pig/fdg");
   const BasicBlock &BB = F.block(BlockIdx);
   unsigned N = Gs.size();
   Constraints = UndirectedGraph(N);
@@ -37,12 +44,15 @@ void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
   ParallelPairs = UndirectedGraph(N);
 
   // Et part 1: the transitive closure of Gs, directions removed.
-  BitMatrix Reach = Gs.reachability();
-  for (unsigned U = 0; U != N; ++U)
-    for (int V = Reach.row(U).findFirst(); V != -1;
-         V = Reach.row(U).findNext(static_cast<unsigned>(V)))
-      if (static_cast<unsigned>(V) != U)
-        Constraints.addEdge(U, static_cast<unsigned>(V));
+  {
+    PIRA_TIME_SCOPE("pig/closure");
+    BitMatrix Reach = Gs.reachability();
+    for (unsigned U = 0; U != N; ++U)
+      for (int V = Reach.row(U).findFirst(); V != -1;
+           V = Reach.row(U).findNext(static_cast<unsigned>(V)))
+        if (static_cast<unsigned>(V) != U)
+          Constraints.addEdge(U, static_cast<unsigned>(V));
+  }
 
   // Et part 2: non-precedence machine constraints — pairs contending for
   // a unit class with a single unit (the paper's explicit rule; multiple
@@ -66,4 +76,7 @@ void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
     for (unsigned V = U + 1; V != N; ++V)
       if (!Constraints.hasEdge(U, V))
         ParallelPairs.addEdge(U, V);
+
+  NumFdgParallelPairs += ParallelPairs.numEdges();
+  NumFdgMachineConstraintPairs += MachinePairs.numEdges();
 }

@@ -16,6 +16,7 @@
 #include "regalloc/InterferenceGraph.h"
 #include "sched/EPTimes.h"
 #include "support/BitMatrix.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -24,10 +25,15 @@
 
 using namespace pira;
 
+PIRA_STAT(NumPigParallelEdges, "Parallel (Ep) edges added to PIGs");
+PIRA_STAT(NumPigRegionPairs,
+          "Cross-block parallel pairs found by the region extension");
+
 void ParallelInterferenceGraph::addParallelEdge(unsigned WebA, unsigned WebB,
                                                 double BenefitValue) {
   if (WebA == WebB)
     return;
+  ++NumPigParallelEdges;
   Parallel.addEdge(WebA, WebB);
   Combined.addEdge(WebA, WebB);
   auto Key = std::minmax(WebA, WebB);
@@ -210,6 +216,7 @@ private:
 ParallelInterferenceGraph::ParallelInterferenceGraph(
     const Function &F, const Webs &W, const InterferenceGraph &IG,
     const MachineModel &Machine, bool UseRegions) {
+  PIRA_TIME_SCOPE("pig/build");
   assert(!F.isAllocated() && "the PIG is built over symbolic code");
   unsigned NumWebs = W.numWebs();
   Interference = UndirectedGraph(NumWebs);
@@ -237,6 +244,7 @@ ParallelInterferenceGraph::ParallelInterferenceGraph(
     return;
 
   // Global extension: Ef pairs across the blocks of each region.
+  PIRA_TIME_SCOPE("pig/regions");
   RegionAnalysis RA(F);
   for (const std::vector<unsigned> &Blocks : RA.regions()) {
     if (Blocks.size() < 2)
@@ -257,6 +265,7 @@ ParallelInterferenceGraph::ParallelInterferenceGraph(
           continue;
         auto [BlockA, InstA] = RFD.nodes()[A];
         auto [BlockB, InstB] = RFD.nodes()[B2];
+        ++NumPigRegionPairs;
         addParallelEdge(W.webOfDef(BlockA, InstA),
                         W.webOfDef(BlockB, InstB), /*Benefit=*/1.0);
       }

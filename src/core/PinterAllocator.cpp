@@ -16,6 +16,7 @@
 #include "regalloc/SpillCost.h"
 #include "regalloc/SpillInserter.h"
 #include "sched/PreScheduler.h"
+#include "support/Telemetry.h"
 #include "support/UndirectedGraph.h"
 
 #include <cassert>
@@ -23,6 +24,11 @@
 #include <set>
 
 using namespace pira;
+
+PIRA_STAT(NumPinterRounds, "Combined-allocator color/spill/repeat rounds");
+PIRA_STAT(NumPinterSpilledWebs, "Webs the combined allocator sent to memory");
+PIRA_STAT(NumParallelEdgesSacrificed,
+          "Parallel-only PIG edges dropped under register pressure");
 
 namespace {
 
@@ -96,6 +102,7 @@ private:
 Allocation pira::pinterColor(const ParallelInterferenceGraph &PIG,
                              const std::vector<double> &Costs,
                              unsigned NumRegs, const PinterOptions &Opts) {
+  PIRA_TIME_SCOPE("pig/coloring");
   unsigned N = PIG.numWebs();
   assert(Costs.size() == N && "cost vector size mismatch");
   Allocation Out;
@@ -149,6 +156,7 @@ Allocation pira::pinterColor(const ParallelInterferenceGraph &PIG,
       Work.removeParallelEdge(Victim, Best);
       SelectGraph.removeEdge(Victim, Best);
       ++Out.ParallelEdgesDropped;
+      ++NumParallelEdgesSacrificed;
       continue;
     }
 
@@ -187,12 +195,14 @@ PinterStats pira::pinterAllocate(Function &F, unsigned NumRegs,
                                  const MachineModel &Machine,
                                  const PinterOptions &Opts,
                                  Function *SymbolicSnapshot) {
+  PIRA_TIME_SCOPE("alloc/pinter");
   PinterStats Stats;
   std::set<Reg> NoSpillRegs;
   constexpr double Infinite = std::numeric_limits<double>::infinity();
 
   for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
     ++Stats.Rounds;
+    ++NumPinterRounds;
     // Preliminary EP reordering improves the *input* order once. It must
     // not run again after spill rounds: it would hoist the fresh reload
     // loads (which have no predecessors) away from their uses, stretching
@@ -204,6 +214,7 @@ PinterStats pira::pinterAllocate(Function &F, unsigned NumRegs,
         Stats.PreScheduleMoves += preScheduleFunction(F, Machine);
     }
 
+    PIRA_TIME_SCOPE("alloc/round");
     Webs W(F);
     InterferenceGraph IG(F, W);
     ParallelInterferenceGraph PIG(F, W, IG, Machine, Opts.UseRegions);
@@ -223,6 +234,7 @@ PinterStats pira::pinterAllocate(Function &F, unsigned NumRegs,
       return Stats;
     }
     Stats.SpilledWebs += static_cast<unsigned>(A.SpilledWebs.size());
+    NumPinterSpilledWebs += A.SpilledWebs.size();
     SpillCode Code = insertSpillCode(F, W, A.SpilledWebs, NoSpillRegs);
     Stats.SpillStores += Code.Stores;
     Stats.SpillLoads += Code.Loads;

@@ -1,0 +1,94 @@
+//===- pipeline/Report.cpp - Structured JSON stats reports ----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Report.h"
+
+#include "machine/MachineModel.h"
+#include "support/Telemetry.h"
+
+#include <fstream>
+
+using namespace pira;
+
+json::Value pira::pipelineResultToJson(const PipelineResult &R) {
+  json::Value P = json::Value::object();
+  P.set("success", R.Success);
+  P.set("error", R.Error);
+  P.set("registers_used", R.RegistersUsed);
+  P.set("spilled_webs", R.SpilledWebs);
+  P.set("spill_instructions", R.SpillInstructions);
+  P.set("false_deps", R.FalseDeps);
+  P.set("anti_ordering_losses", R.AntiOrderingLosses);
+  P.set("parallel_edges_dropped", R.ParallelEdgesDropped);
+  P.set("static_cycles", R.StaticCycles);
+  P.set("dyn_cycles", R.DynCycles);
+  P.set("dyn_instructions", R.DynInstructions);
+  P.set("semantics_preserved", R.SemanticsPreserved);
+  return P;
+}
+
+json::Value pira::machineToJson(const MachineModel &Machine) {
+  json::Value M = json::Value::object();
+  M.set("name", Machine.name());
+  M.set("registers", Machine.numPhysRegs());
+  M.set("issue_width", Machine.issueWidth());
+  return M;
+}
+
+json::Value pira::countersToJson() {
+  json::Value C = json::Value::object();
+  for (const telemetry::Counter *Counter : telemetry::counters()) {
+    json::Value One = json::Value::object();
+    One.set("value", Counter->value());
+    One.set("description", Counter->description());
+    C.set(Counter->name(), std::move(One));
+  }
+  return C;
+}
+
+json::Value pira::timersToJson() {
+  json::Value T = json::Value::array();
+  for (const telemetry::TimerAggregate &A : telemetry::timerAggregates()) {
+    json::Value One = json::Value::object();
+    One.set("path", A.Path);
+    One.set("calls", A.Calls);
+    One.set("total_ns", A.TotalNs);
+    T.push(std::move(One));
+  }
+  return T;
+}
+
+json::Value pira::makeStatsReport(const PipelineResult &R,
+                                  const std::string &Strategy,
+                                  const MachineModel &Machine) {
+  json::Value Root = json::Value::object();
+  Root.set("schema", StatsSchemaName);
+  Root.set("version", StatsSchemaVersion);
+  if (!Strategy.empty())
+    Root.set("strategy", Strategy);
+  Root.set("machine", machineToJson(Machine));
+  Root.set("pipeline", pipelineResultToJson(R));
+  Root.set("counters", countersToJson());
+  Root.set("timers", timersToJson());
+  return Root;
+}
+
+bool pira::writeJsonFile(const json::Value &Report,
+                         const std::string &FilePath, std::string &Error) {
+  std::ofstream Out(FilePath);
+  if (!Out) {
+    Error = "cannot open '" + FilePath + "' for writing";
+    return false;
+  }
+  Report.write(Out, 0);
+  Out << '\n';
+  if (!Out) {
+    Error = "error while writing '" + FilePath + "'";
+    return false;
+  }
+  return true;
+}

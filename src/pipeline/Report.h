@@ -1,0 +1,70 @@
+//===- pipeline/Report.h - Structured JSON stats reports --------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable side of the pipeline: serializes PipelineResult,
+/// the telemetry counter registry, and aggregated phase timers into one
+/// JSON document with a stable, versioned schema ("pira.stats", version
+/// 1). `pirac --stats-out` and the bench binaries emit this format so
+/// the perf trajectory of the repo is diffable across PRs.
+///
+/// Schema (version 1):
+///
+///   {
+///     "schema": "pira.stats", "version": 1,
+///     "strategy": "combined",            // when known
+///     "machine": {"name": ..., "registers": N, "issue_width": W},
+///     "pipeline": { ...every PipelineResult scalar field... },
+///     "counters": {"NumFoo": {"value": N, "description": ...}, ...},
+///     "timers": [{"path": ..., "calls": N, "total_ns": N}, ...]
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_PIPELINE_REPORT_H
+#define PIRA_PIPELINE_REPORT_H
+
+#include "pipeline/Strategies.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace pira {
+
+class MachineModel;
+
+/// Schema constants; bump the version whenever a field changes meaning.
+inline constexpr const char *StatsSchemaName = "pira.stats";
+inline constexpr int StatsSchemaVersion = 1;
+
+/// Serializes every scalar field of \p R (code and schedule bodies are
+/// deliberately omitted — they belong to the textual printers).
+json::Value pipelineResultToJson(const PipelineResult &R);
+
+/// Serializes \p Machine's identity (name, register count, issue width).
+json::Value machineToJson(const MachineModel &Machine);
+
+/// The registered telemetry counters as {"name": {"value", "description"}}.
+json::Value countersToJson();
+
+/// Aggregated phase timers as [{"path", "calls", "total_ns"}].
+json::Value timersToJson();
+
+/// Assembles the full versioned stats document for one pipeline run.
+/// \p Strategy may be empty when the run is not strategy-shaped.
+json::Value makeStatsReport(const PipelineResult &R,
+                            const std::string &Strategy,
+                            const MachineModel &Machine);
+
+/// Writes \p Report (pretty-printed) to \p FilePath; false with \p Error
+/// set on I/O failure.
+bool writeJsonFile(const json::Value &Report, const std::string &FilePath,
+                   std::string &Error);
+
+} // namespace pira
+
+#endif // PIRA_PIPELINE_REPORT_H

@@ -15,10 +15,14 @@
 #include "sched/IntegratedPrepass.h"
 #include "sched/PreScheduler.h"
 #include "sim/SuperscalarSim.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
 using namespace pira;
+
+PIRA_STAT(NumPipelineRuns, "Strategy pipelines started");
+PIRA_STAT(NumPipelineFailures, "Strategy pipelines that did not succeed");
 
 const char *pira::strategyName(StrategyKind Kind) {
   switch (Kind) {
@@ -35,27 +39,57 @@ const char *pira::strategyName(StrategyKind Kind) {
   return "?";
 }
 
+/// Timer label for one strategy (PIRA_TIME_SCOPE needs a literal with
+/// static lifetime).
+static const char *strategyScopeName(StrategyKind Kind) {
+  switch (Kind) {
+  case StrategyKind::AllocFirst:
+    return "strategy/alloc-first";
+  case StrategyKind::SchedFirst:
+    return "strategy/sched-first";
+  case StrategyKind::IntegratedPrepass:
+    return "strategy/goodman-hsu-ips";
+  case StrategyKind::Combined:
+    return "strategy/combined";
+  }
+  return "strategy/unknown";
+}
+
 /// Shared tail: schedule the allocated code, count false dependences,
-/// verify structure.
+/// verify structure. A verification failure here leaves the dynamic
+/// fields at their defaults, so the error spells out that the run died
+/// before simulation — a JSON report must never show Success == false
+/// with an empty (or misleading) Error.
 static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
   std::string VerifyError;
-  if (!verifyFunction(R.Final, VerifyError)) {
-    R.Success = false;
-    R.Error = "final code fails verification: " + VerifyError;
-    return;
+  {
+    PIRA_TIME_SCOPE("verify/final");
+    if (!verifyFunction(R.Final, VerifyError)) {
+      R.Success = false;
+      R.Error = "final code fails verification (pipeline aborted before "
+                "scheduling and simulation; dynamic counts are zero and "
+                "semantics were never checked): " +
+                VerifyError;
+      return;
+    }
   }
   R.Sched = scheduleFunction(R.Final, Machine);
   R.StaticCycles = R.Sched.totalMakespan();
-  R.FalseDeps = static_cast<unsigned>(
-      findFalseDependences(R.SymbolicTwin, R.Final, Machine).size());
-  R.AntiOrderingLosses =
-      countAntiOrderingLosses(R.SymbolicTwin, R.Final, Machine);
+  {
+    PIRA_TIME_SCOPE("analysis/falsedeps");
+    R.FalseDeps = static_cast<unsigned>(
+        findFalseDependences(R.SymbolicTwin, R.Final, Machine).size());
+    R.AntiOrderingLosses =
+        countAntiOrderingLosses(R.SymbolicTwin, R.Final, Machine);
+  }
 }
 
 PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
                                  const MachineModel &Machine,
                                  const PinterOptions &Opts) {
   assert(!Input.isAllocated() && "strategies start from symbolic code");
+  PIRA_TIME_SCOPE(strategyScopeName(Kind));
+  ++NumPipelineRuns;
   PipelineResult R;
   R.Final = Input;
   unsigned K = Machine.numPhysRegs();
@@ -78,10 +112,13 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
     // Aggressive pre-pass: order each block exactly as the list scheduler
     // would issue it with unlimited registers, then allocate on the
     // stretched live ranges, then re-schedule the allocated code.
-    preScheduleFunction(R.Final, Machine);
-    FunctionSchedule Pre = scheduleFunction(R.Final, Machine);
-    for (unsigned B = 0, E = R.Final.numBlocks(); B != E; ++B)
-      reorderBlockBySchedule(R.Final, B, Pre.Blocks[B]);
+    {
+      PIRA_TIME_SCOPE("sched/aggressive-prepass");
+      preScheduleFunction(R.Final, Machine);
+      FunctionSchedule Pre = scheduleFunction(R.Final, Machine);
+      for (unsigned B = 0, E = R.Final.numBlocks(); B != E; ++B)
+        reorderBlockBySchedule(R.Final, B, Pre.Blocks[B]);
+    }
     AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
                                        &R.SymbolicTwin);
     if (!Stats.Success) {
@@ -126,6 +163,11 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
   }
 
   finishPipeline(R, Machine);
+  if (!R.Success) {
+    ++NumPipelineFailures;
+    if (R.Error.empty())
+      R.Error = "pipeline failed without a recorded reason";
+  }
   return R;
 }
 
@@ -138,10 +180,15 @@ PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
     return R;
 
   // Ground truth: sequential interpretation of the *input* code.
+  PIRA_TIME_SCOPE("sim/measure");
   ExecState Initial = makeInitialState(Input, Seed);
-  ExecResult Ref = interpret(Input, Initial);
+  ExecResult Ref = [&] {
+    PIRA_TIME_SCOPE("sim/reference");
+    return interpret(Input, Initial);
+  }();
   if (!Ref.Completed) {
     R.Success = false;
+    ++NumPipelineFailures;
     R.Error = "reference interpretation failed: " + Ref.Error;
     return R;
   }
@@ -159,31 +206,46 @@ PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
   }
 
   SimResult Sim = simulate(R.Final, R.Sched, Machine, std::move(SimInitial));
-  if (!Sim.Completed) {
-    R.Success = false;
-    R.Error = "simulation failed: " + Sim.Error;
-    return R;
-  }
   R.DynCycles = Sim.Cycles;
   R.DynInstructions = Sim.Instructions;
+  if (!Sim.Completed) {
+    R.Success = false;
+    ++NumPipelineFailures;
+    R.Error = "simulation failed after " +
+              std::to_string(R.DynInstructions) + " instructions: " +
+              Sim.Error;
+    return R;
+  }
 
   // Observable outputs: every array of the original program, plus the
-  // returned value.
-  bool ArraysMatch = true;
+  // returned value. On divergence the error names the first mismatched
+  // observable so reports are actionable without rerunning.
+  std::string Mismatch;
   for (const auto &[Name, Data] : Ref.Final.Arrays) {
     auto It = Sim.Final.Arrays.find(Name);
-    if (It == Sim.Final.Arrays.end() || It->second != Data) {
-      ArraysMatch = false;
+    if (It == Sim.Final.Arrays.end()) {
+      Mismatch = "array '" + Name + "' missing from simulated state";
+      break;
+    }
+    if (It->second != Data) {
+      Mismatch = "array '" + Name + "' contents differ";
       break;
     }
   }
-  R.SemanticsPreserved = ArraysMatch &&
-                         Ref.HasReturnValue == Sim.HasReturnValue &&
-                         (!Ref.HasReturnValue ||
-                          Ref.ReturnValue == Sim.ReturnValue);
+  if (Mismatch.empty() && Ref.HasReturnValue != Sim.HasReturnValue)
+    Mismatch = "return-value presence differs";
+  if (Mismatch.empty() && Ref.HasReturnValue &&
+      Ref.ReturnValue != Sim.ReturnValue)
+    Mismatch = "return value differs (" + std::to_string(Ref.ReturnValue) +
+               " vs " + std::to_string(Sim.ReturnValue) + ")";
+
+  R.SemanticsPreserved = Mismatch.empty();
   if (!R.SemanticsPreserved) {
     R.Success = false;
-    R.Error = "semantics diverged from the sequential reference";
+    ++NumPipelineFailures;
+    R.Error = "semantics diverged from the sequential reference after " +
+              std::to_string(R.DynInstructions) + " instructions: " +
+              Mismatch;
   }
   return R;
 }

@@ -12,6 +12,7 @@
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/SpillCost.h"
 #include "regalloc/SpillInserter.h"
+#include "support/Telemetry.h"
 #include "support/UndirectedGraph.h"
 
 #include <cassert>
@@ -19,6 +20,9 @@
 #include <set>
 
 using namespace pira;
+
+PIRA_STAT(NumChaitinRounds, "Chaitin color/spill/repeat rounds run");
+PIRA_STAT(NumChaitinSpilledWebs, "Webs the Chaitin allocator sent to memory");
 
 Allocation pira::chaitinColor(const UndirectedGraph &G,
                               const std::vector<double> &Costs,
@@ -159,12 +163,14 @@ Allocation pira::briggsColor(const UndirectedGraph &G,
 AllocStats pira::chaitinAllocate(Function &F, unsigned NumRegs,
                                  unsigned MaxRounds,
                                  Function *SymbolicSnapshot) {
+  PIRA_TIME_SCOPE("alloc/chaitin");
   AllocStats Stats;
   std::set<Reg> NoSpillRegs;
   constexpr double Infinite = std::numeric_limits<double>::infinity();
 
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
     ++Stats.Rounds;
+    ++NumChaitinRounds;
     Webs W(F);
     InterferenceGraph IG(F, W);
     std::vector<double> Costs = computeSpillCosts(F, W);
@@ -172,7 +178,10 @@ AllocStats pira::chaitinAllocate(Function &F, unsigned NumRegs,
       if (NoSpillRegs.count(W.webRegister(Web)))
         Costs[Web] = Infinite;
 
-    Allocation A = chaitinColor(IG.graph(), Costs, NumRegs);
+    Allocation A = [&] {
+      PIRA_TIME_SCOPE("alloc/coloring");
+      return chaitinColor(IG.graph(), Costs, NumRegs);
+    }();
     if (A.fullyColored()) {
       if (SymbolicSnapshot != nullptr)
         *SymbolicSnapshot = F;
@@ -182,6 +191,7 @@ AllocStats pira::chaitinAllocate(Function &F, unsigned NumRegs,
       return Stats;
     }
     Stats.SpilledWebs += static_cast<unsigned>(A.SpilledWebs.size());
+    NumChaitinSpilledWebs += A.SpilledWebs.size();
     SpillCode Code = insertSpillCode(F, W, A.SpilledWebs, NoSpillRegs);
     Stats.SpillStores += Code.Stores;
     Stats.SpillLoads += Code.Loads;

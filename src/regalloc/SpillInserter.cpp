@@ -9,11 +9,15 @@
 
 #include "analysis/Webs.h"
 #include "ir/Function.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <map>
 
 using namespace pira;
+
+PIRA_STAT(NumSpillStoresInserted, "Spill stores inserted after definitions");
+PIRA_STAT(NumSpillLoadsInserted, "Spill reloads inserted before uses");
 
 SpillCode pira::insertSpillCode(Function &F, const Webs &W,
                                 const std::vector<unsigned> &SpillWebs,
@@ -21,6 +25,7 @@ SpillCode pira::insertSpillCode(Function &F, const Webs &W,
   SpillCode Code;
   if (SpillWebs.empty())
     return Code;
+  PIRA_TIME_SCOPE("spill/insert");
 
   // Assign slots past any slots earlier rounds claimed.
   unsigned FirstSlot = F.arraySize(SpillArrayName);
@@ -98,5 +103,7 @@ SpillCode pira::insertSpillCode(Function &F, const Webs &W,
     }
     BB.instructions() = std::move(NewInsts);
   }
+  NumSpillStoresInserted += Code.Stores;
+  NumSpillLoadsInserted += Code.Loads;
   return Code;
 }

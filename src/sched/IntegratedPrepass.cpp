@@ -14,12 +14,17 @@
 #include "sched/EPTimes.h"
 #include "sched/ListScheduler.h"
 #include "sched/Schedule.h"
+#include "support/Telemetry.h"
 
 #include <array>
 #include <cassert>
 #include <map>
 
 using namespace pira;
+
+PIRA_STAT(NumIpsPressureDecisions,
+          "Goodman-Hsu picks made in register-reducing (CSR) mode");
+PIRA_STAT(NumIpsMoves, "Instructions repositioned by the IPS prepass");
 
 namespace {
 
@@ -182,6 +187,7 @@ private:
 IpsStats pira::integratedPrepassSchedule(Function &F,
                                          const MachineModel &Machine,
                                          unsigned RegLimit) {
+  PIRA_TIME_SCOPE("sched/ips");
   assert(!F.isAllocated() && "IPS runs on symbolic code");
   assert(RegLimit >= 1 && "register limit must be positive");
   IpsStats Stats;
@@ -196,5 +202,7 @@ IpsStats pira::integratedPrepassSchedule(Function &F,
       if (Perm[Pos] != Pos)
         ++Stats.Moved;
   }
+  NumIpsPressureDecisions += Stats.CsrDecisions;
+  NumIpsMoves += Stats.Moved;
   return Stats;
 }

@@ -11,6 +11,7 @@
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
 #include "sched/EPTimes.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <array>
@@ -18,6 +19,10 @@
 #include <numeric>
 
 using namespace pira;
+
+PIRA_STAT(NumBlocksListScheduled, "Basic blocks list-scheduled");
+PIRA_STAT(NumListScheduleCycles,
+          "Static cycles across all list-scheduled blocks");
 
 BlockSchedule pira::scheduleBlockFor(const Function &F, unsigned BlockIdx,
                                      const DependenceGraph &G,
@@ -83,11 +88,14 @@ BlockSchedule pira::scheduleBlockFor(const Function &F, unsigned BlockIdx,
     ++Cycle;
   }
   Out.Makespan = Cycle;
+  ++NumBlocksListScheduled;
+  NumListScheduleCycles += Cycle;
   return Out;
 }
 
 FunctionSchedule pira::scheduleFunction(const Function &F,
                                         const MachineModel &Machine) {
+  PIRA_TIME_SCOPE("sched/list");
   FunctionSchedule Out;
   Out.Blocks.reserve(F.numBlocks());
   for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {

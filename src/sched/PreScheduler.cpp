@@ -11,6 +11,7 @@
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
 #include "sched/EPTimes.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <array>
@@ -18,6 +19,9 @@
 #include <numeric>
 
 using namespace pira;
+
+PIRA_STAT(NumPreScheduleMoves,
+          "Instructions repositioned by EP-driven pre-scheduling");
 
 /// Postpones instructions that overflow machine capacity at their EP
 /// value and propagates the delay; returns the adjusted EP numbers.
@@ -84,6 +88,7 @@ static std::vector<unsigned> adjustEP(const Function &F, unsigned BlockIdx,
 }
 
 unsigned pira::preScheduleFunction(Function &F, const MachineModel &Machine) {
+  PIRA_TIME_SCOPE("sched/prepass");
   assert(!F.isAllocated() && "pre-scheduling runs on symbolic code");
   unsigned Moved = 0;
   for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
@@ -116,5 +121,6 @@ unsigned pira::preScheduleFunction(Function &F, const MachineModel &Machine) {
       NewInsts.push_back(BB.inst(Order[Pos]));
     BB.instructions() = std::move(NewInsts);
   }
+  NumPreScheduleMoves += Moved;
   return Moved;
 }

@@ -10,11 +10,15 @@
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
 #include "sched/Schedule.h"
+#include "support/Telemetry.h"
 
 #include <map>
 #include <sstream>
 
 using namespace pira;
+
+PIRA_STAT(NumSimCycles, "Machine cycles consumed across simulated runs");
+PIRA_STAT(NumSimInstructions, "Instructions retired across simulated runs");
 
 namespace {
 
@@ -35,9 +39,9 @@ static std::string diag(const Function &F, unsigned Block, unsigned Inst,
   return OS.str();
 }
 
-SimResult pira::simulate(const Function &F, const FunctionSchedule &Sched,
-                         const MachineModel &Machine, ExecState Initial,
-                         uint64_t MaxCycles) {
+static SimResult simulateImpl(const Function &F, const FunctionSchedule &Sched,
+                              const MachineModel &Machine, ExecState Initial,
+                              uint64_t MaxCycles) {
   SimResult R;
   R.Final = std::move(Initial);
   ExecState &State = R.Final;
@@ -166,5 +170,15 @@ SimResult pira::simulate(const Function &F, const FunctionSchedule &Sched,
     Block = static_cast<unsigned>(NextBlock);
   }
   R.Error = "cycle budget exhausted";
+  return R;
+}
+
+SimResult pira::simulate(const Function &F, const FunctionSchedule &Sched,
+                         const MachineModel &Machine, ExecState Initial,
+                         uint64_t MaxCycles) {
+  PIRA_TIME_SCOPE("sim/superscalar");
+  SimResult R = simulateImpl(F, Sched, Machine, std::move(Initial), MaxCycles);
+  NumSimCycles += R.Cycles;
+  NumSimInstructions += R.Instructions;
   return R;
 }

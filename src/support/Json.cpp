@@ -1,0 +1,398 @@
+//===- support/Json.cpp - Minimal JSON value, writer, and parser ----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace pira;
+using namespace pira::json;
+
+void json::writeEscaped(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+static void writeIndent(std::ostream &OS, int Indent) {
+  for (int I = 0; I != Indent; ++I)
+    OS << "  ";
+}
+
+void Value::write(std::ostream &OS, int Indent) const {
+  const bool Pretty = Indent >= 0;
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    return;
+  case Kind::Bool:
+    OS << (BoolVal ? "true" : "false");
+    return;
+  case Kind::Int:
+    OS << IntVal;
+    return;
+  case Kind::Double:
+    if (std::isfinite(DoubleVal)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleVal);
+      OS << Buf;
+    } else {
+      OS << "null"; // JSON has no Inf/NaN; degrade rather than corrupt
+    }
+    return;
+  case Kind::String:
+    writeEscaped(OS, StringVal);
+    return;
+  case Kind::Array: {
+    if (Elements.empty()) {
+      OS << "[]";
+      return;
+    }
+    OS << '[';
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I != 0)
+        OS << ',';
+      if (Pretty) {
+        OS << '\n';
+        writeIndent(OS, Indent + 1);
+      }
+      Elements[I].write(OS, Pretty ? Indent + 1 : -1);
+    }
+    if (Pretty) {
+      OS << '\n';
+      writeIndent(OS, Indent);
+    }
+    OS << ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      OS << "{}";
+      return;
+    }
+    OS << '{';
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I != 0)
+        OS << ',';
+      if (Pretty) {
+        OS << '\n';
+        writeIndent(OS, Indent + 1);
+      }
+      writeEscaped(OS, Members[I].first);
+      OS << (Pretty ? ": " : ":");
+      Members[I].second.write(OS, Pretty ? Indent + 1 : -1);
+    }
+    if (Pretty) {
+      OS << '\n';
+      writeIndent(OS, Indent);
+    }
+    OS << '}';
+    return;
+  }
+  }
+}
+
+std::string Value::toString(int Indent) const {
+  std::ostringstream OS;
+  write(OS, Indent);
+  return OS.str();
+}
+
+namespace {
+
+/// Strict recursive-descent parser over the whole input buffer.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWhitespace();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after top-level value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C, const char *What) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > 200)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Value();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Value(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Value(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "'\"'"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by our writer; decode them permissively as-is).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsDouble = true;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsDouble = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    if (Token.empty() || Token == "-")
+      return fail("malformed number");
+    try {
+      if (IsDouble)
+        Out = Value(std::stod(Token));
+      else
+        Out = Value(static_cast<int64_t>(std::stoll(Token)));
+    } catch (...) {
+      return fail("number out of range");
+    }
+    return true;
+  }
+
+  bool parseArray(Value &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value Element;
+      skipWhitespace();
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.push(std::move(Element));
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']', "']' or ','");
+    }
+  }
+
+  bool parseObject(Value &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':', "':'"))
+        return false;
+      skipWhitespace();
+      Value Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.set(Key, std::move(Member));
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}', "'}' or ','");
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}

@@ -1,0 +1,182 @@
+//===- support/Telemetry.h - Phase timers and counter registry --*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer every pipeline pass reports through:
+///
+///   * PIRA_TIME_SCOPE("pig/closure") — an RAII phase timer. Scopes nest:
+///     each thread keeps a stack of active labels and every finished
+///     scope records its full hierarchical path
+///     ("strategy/combined/alloc/pinter/pig/closure"). Timers are
+///     monotonic-clock based and cost one relaxed atomic load when
+///     telemetry is disabled (the default).
+///
+///   * PIRA_STAT(NumFoo, "description") — an LLVM-Statistic-style
+///     process-global counter. Counters register themselves once, bump
+///     via relaxed atomics (so later parallel passes can share them),
+///     and are enumerable for reports.
+///
+///   * Chrome trace-event export (writeChromeTrace) — one complete "X"
+///     duration event per finished scope, loadable in chrome://tracing
+///     or Perfetto.
+///
+///   * Aggregated timing (timerAggregates / printTimerReport) — per-path
+///     call counts and total wall time, the data behind `pirac
+///     --time-passes` and the "timers" section of stats reports.
+///
+/// Thread-safety: counters are always safe; scope recording takes one
+/// mutex per *finished* scope, and the active-scope stack is
+/// thread-local, so instrumented passes may run concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SUPPORT_TELEMETRY_H
+#define PIRA_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pira {
+namespace telemetry {
+
+//===----------------------------------------------------------------------===//
+// Global enable switch
+//===----------------------------------------------------------------------===//
+
+/// True when phase timers record events. Counters count regardless (a
+/// relaxed increment is cheaper than the branch would be worth).
+bool enabled();
+
+/// Turns scope recording on or off process-wide.
+void setEnabled(bool On);
+
+/// Zeroes every registered counter and drops all recorded timer events.
+/// Active (unclosed) scopes are unaffected: their paths were captured on
+/// entry and they record normally when they close.
+void reset();
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+/// A named process-global counter. Instances must have static storage
+/// duration (PIRA_STAT arranges this); the registry keeps raw pointers.
+class Counter {
+public:
+  Counter(const char *Name, const char *Description);
+
+  Counter &operator++() {
+    Value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  void operator++(int) { Value.fetch_add(1, std::memory_order_relaxed); }
+  Counter &operator+=(uint64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+    return *this;
+  }
+  /// Raises the counter to at least \p V (for high-water marks).
+  void updateMax(uint64_t V) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Value.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  const char *name() const { return Name; }
+  const char *description() const { return Description; }
+
+private:
+  friend void reset();
+  const char *Name;
+  const char *Description;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// All counters registered so far, in registration order.
+const std::vector<Counter *> &counters();
+
+//===----------------------------------------------------------------------===//
+// Phase timers
+//===----------------------------------------------------------------------===//
+
+/// One finished timed scope.
+struct TimedEvent {
+  std::string Path;    ///< Hierarchical "outer/inner" path.
+  const char *Label;   ///< The literal passed to PIRA_TIME_SCOPE.
+  uint64_t StartNs;    ///< Monotonic start, ns since process epoch.
+  uint64_t DurationNs; ///< Wall time inside the scope.
+  uint32_t ThreadId;   ///< Dense per-process thread number.
+  uint32_t Depth;      ///< Nesting depth at entry (0 = top level).
+};
+
+/// RAII phase timer; see file comment. Label must outlive the scope
+/// (string literals only).
+class TimeScope {
+public:
+  explicit TimeScope(const char *Label);
+  ~TimeScope();
+  TimeScope(const TimeScope &) = delete;
+  TimeScope &operator=(const TimeScope &) = delete;
+
+private:
+  bool Active;
+  const char *Label;
+  uint64_t StartNs = 0;
+  std::string Path;
+  uint32_t Depth = 0;
+};
+
+/// Snapshot of every recorded event, in completion order.
+std::vector<TimedEvent> events();
+
+/// Per-path aggregate of the recorded events.
+struct TimerAggregate {
+  std::string Path;
+  uint64_t Calls = 0;
+  uint64_t TotalNs = 0;
+};
+
+/// Aggregates events by path, ordered by descending total time.
+std::vector<TimerAggregate> timerAggregates();
+
+/// Prints the --time-passes table (path, calls, total ms) to \p OS.
+void printTimerReport(std::ostream &OS);
+
+/// Writes the recorded events as Chrome trace-event JSON (the
+/// {"traceEvents": [...]} object form; each scope is one complete "X"
+/// event whose name is its leaf label and whose args carry the full
+/// path). Loadable in chrome://tracing and Perfetto.
+void writeChromeTrace(std::ostream &OS);
+
+/// writeChromeTrace to a file; false (with \p Error set) when the file
+/// cannot be written.
+bool writeChromeTraceFile(const std::string &FilePath, std::string &Error);
+
+} // namespace telemetry
+} // namespace pira
+
+//===----------------------------------------------------------------------===//
+// Instrumentation macros
+//===----------------------------------------------------------------------===//
+
+/// Defines (at namespace or function scope) a static counter named
+/// \p NAME, registered once process-wide under "NAME".
+#define PIRA_STAT(NAME, DESC)                                                  \
+  static ::pira::telemetry::Counter NAME(#NAME, DESC)
+
+#define PIRA_TIME_SCOPE_CONCAT2(A, B) A##B
+#define PIRA_TIME_SCOPE_CONCAT(A, B) PIRA_TIME_SCOPE_CONCAT2(A, B)
+/// Times the enclosing scope under \p LABEL (a string literal).
+#define PIRA_TIME_SCOPE(LABEL)                                                 \
+  ::pira::telemetry::TimeScope PIRA_TIME_SCOPE_CONCAT(PiraTimeScope_,          \
+                                                      __LINE__)(LABEL)
+
+#endif // PIRA_SUPPORT_TELEMETRY_H

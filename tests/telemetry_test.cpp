@@ -1,0 +1,306 @@
+//===- tests/telemetry_test.cpp - Telemetry subsystem tests ---------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// Covers the observability layer end to end: nested scope timing and
+// path formation, counter registration and reset, Chrome trace-event
+// export (valid JSON, complete events), the JSON library round trip,
+// and the versioned stats report built from a real pipeline run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "ir/IRBuilder.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Report.h"
+#include "pipeline/Strategies.h"
+#include "support/Json.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+using namespace pira;
+
+namespace {
+
+/// Every telemetry test runs against a clean, enabled registry and
+/// restores the disabled default afterwards so ordering between test
+/// suites cannot leak state.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    telemetry::reset();
+    telemetry::setEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+};
+
+PIRA_STAT(TestCounterA, "test-only counter A");
+PIRA_STAT(TestCounterB, "test-only counter B");
+
+TEST_F(TelemetryTest, NestedScopesProduceHierarchicalPaths) {
+  {
+    PIRA_TIME_SCOPE("outer");
+    {
+      PIRA_TIME_SCOPE("middle/part");
+      { PIRA_TIME_SCOPE("inner"); }
+    }
+    { PIRA_TIME_SCOPE("sibling"); }
+  }
+  std::vector<telemetry::TimedEvent> Events = telemetry::events();
+  ASSERT_EQ(Events.size(), 4u);
+  // Scopes record on exit, so innermost-first.
+  EXPECT_EQ(Events[0].Path, "outer/middle/part/inner");
+  EXPECT_EQ(Events[1].Path, "outer/middle/part");
+  EXPECT_EQ(Events[2].Path, "outer/sibling");
+  EXPECT_EQ(Events[3].Path, "outer");
+  EXPECT_EQ(Events[0].Depth, 2u);
+  EXPECT_EQ(Events[3].Depth, 0u);
+  EXPECT_STREQ(Events[0].Label, "inner");
+  // A nested scope cannot run longer than its parent.
+  EXPECT_LE(Events[0].DurationNs, Events[3].DurationNs);
+}
+
+TEST_F(TelemetryTest, ScopesRecordNothingWhenDisabled) {
+  telemetry::setEnabled(false);
+  { PIRA_TIME_SCOPE("ghost"); }
+  EXPECT_TRUE(telemetry::events().empty());
+  // Re-enabling starts from a clean thread stack: no stale prefix.
+  telemetry::setEnabled(true);
+  { PIRA_TIME_SCOPE("alone"); }
+  std::vector<telemetry::TimedEvent> Events = telemetry::events();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Path, "alone");
+}
+
+TEST_F(TelemetryTest, CountersRegisterBumpAndReset) {
+  const std::vector<telemetry::Counter *> &All = telemetry::counters();
+  auto FindByName = [&](const char *Name) -> telemetry::Counter * {
+    auto It = std::find_if(All.begin(), All.end(),
+                           [&](const telemetry::Counter *C) {
+                             return std::string(C->name()) == Name;
+                           });
+    return It == All.end() ? nullptr : *It;
+  };
+  ASSERT_NE(FindByName("TestCounterA"), nullptr);
+  ASSERT_NE(FindByName("TestCounterB"), nullptr);
+
+  ++TestCounterA;
+  TestCounterA += 4;
+  TestCounterB.updateMax(7);
+  TestCounterB.updateMax(3); // lower: no effect
+  EXPECT_EQ(TestCounterA.value(), 5u);
+  EXPECT_EQ(TestCounterB.value(), 7u);
+
+  telemetry::reset();
+  EXPECT_EQ(TestCounterA.value(), 0u);
+  EXPECT_EQ(TestCounterB.value(), 0u);
+  // The registry survives a reset; only values are cleared.
+  EXPECT_NE(FindByName("TestCounterA"), nullptr);
+}
+
+TEST_F(TelemetryTest, CountersAreThreadSafe) {
+  constexpr unsigned PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        ++TestCounterA;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(TestCounterA.value(), 4u * PerThread);
+}
+
+TEST_F(TelemetryTest, TimerAggregatesGroupByPath) {
+  for (int I = 0; I != 3; ++I) {
+    PIRA_TIME_SCOPE("agg/outer");
+    PIRA_TIME_SCOPE("agg/inner");
+  }
+  std::vector<telemetry::TimerAggregate> Aggs = telemetry::timerAggregates();
+  ASSERT_EQ(Aggs.size(), 2u);
+  for (const telemetry::TimerAggregate &A : Aggs)
+    EXPECT_EQ(A.Calls, 3u);
+  // Descending by total time: the outer scope contains the inner one.
+  EXPECT_EQ(Aggs[0].Path, "agg/outer");
+  EXPECT_EQ(Aggs[1].Path, "agg/outer/agg/inner");
+}
+
+TEST_F(TelemetryTest, ChromeTraceIsValidJsonWithCompleteEvents) {
+  {
+    PIRA_TIME_SCOPE("phase/a");
+    { PIRA_TIME_SCOPE("phase/b"); }
+  }
+  std::ostringstream OS;
+  telemetry::writeChromeTrace(OS);
+
+  json::Value Root;
+  std::string Error;
+  ASSERT_TRUE(json::parse(OS.str(), Root, Error)) << Error;
+  const json::Value *Trace = Root.find("traceEvents");
+  ASSERT_NE(Trace, nullptr);
+  ASSERT_TRUE(Trace->isArray());
+  ASSERT_EQ(Trace->elements().size(), 2u);
+  for (const json::Value &Ev : Trace->elements()) {
+    // Complete ("X") events carry their duration inline, so every event
+    // is trivially matched — no dangling B without E.
+    ASSERT_TRUE(Ev.find("ph") != nullptr);
+    EXPECT_EQ(Ev.find("ph")->asString(), "X");
+    EXPECT_TRUE(Ev.has("name"));
+    EXPECT_TRUE(Ev.has("ts"));
+    EXPECT_TRUE(Ev.has("dur"));
+    EXPECT_TRUE(Ev.has("pid"));
+    EXPECT_TRUE(Ev.has("tid"));
+    ASSERT_NE(Ev.find("args"), nullptr);
+    EXPECT_TRUE(Ev.find("args")->has("path"));
+  }
+  // Nesting is visible in the args.path of the inner event.
+  EXPECT_EQ(Trace->elements()[0].find("args")->find("path")->asString(),
+            "phase/a/phase/b");
+}
+
+TEST_F(TelemetryTest, StatsReportRoundTripsThroughParser) {
+  Function F = dotProduct(4);
+  MachineModel M = MachineModel::rs6000(8);
+  PipelineResult R = runAndMeasure(StrategyKind::Combined, F, M);
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  json::Value Report = makeStatsReport(R, "combined", M);
+  std::string Text = Report.toString();
+
+  json::Value Parsed;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Text, Parsed, Error)) << Error;
+
+  EXPECT_EQ(Parsed.find("schema")->asString(), StatsSchemaName);
+  EXPECT_EQ(Parsed.find("version")->asInt(), StatsSchemaVersion);
+  EXPECT_EQ(Parsed.find("strategy")->asString(), "combined");
+
+  // Every PipelineResult field is present and faithful.
+  const json::Value *P = Parsed.find("pipeline");
+  ASSERT_NE(P, nullptr);
+  for (const char *Key :
+       {"success", "error", "registers_used", "spilled_webs",
+        "spill_instructions", "false_deps", "anti_ordering_losses",
+        "parallel_edges_dropped", "static_cycles", "dyn_cycles",
+        "dyn_instructions", "semantics_preserved"})
+    EXPECT_TRUE(P->has(Key)) << "missing pipeline field " << Key;
+  EXPECT_EQ(P->find("dyn_cycles")->asInt(),
+            static_cast<int64_t>(R.DynCycles));
+  EXPECT_EQ(P->find("registers_used")->asInt(), R.RegistersUsed);
+  EXPECT_TRUE(P->find("semantics_preserved")->asBool());
+
+  // The counter registry made it through with >= 10 entries, each
+  // carrying a value and a description.
+  const json::Value *Counters = Parsed.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->members().size(), 10u);
+  for (const auto &[Name, C] : Counters->members()) {
+    EXPECT_TRUE(C.has("value")) << Name;
+    EXPECT_TRUE(C.has("description")) << Name;
+  }
+
+  // Timers made it through, and the combined run produced the scopes the
+  // later perf PRs will regress against.
+  const json::Value *Timers = Parsed.find("timers");
+  ASSERT_NE(Timers, nullptr);
+  bool SawClosure = false, SawColoring = false, SawList = false;
+  for (const json::Value &T : Timers->elements()) {
+    const std::string &Path = T.find("path")->asString();
+    SawClosure |= Path.find("pig/closure") != std::string::npos;
+    SawColoring |= Path.find("pig/coloring") != std::string::npos;
+    SawList |= Path.find("sched/list") != std::string::npos;
+  }
+  EXPECT_TRUE(SawClosure);
+  EXPECT_TRUE(SawColoring);
+  EXPECT_TRUE(SawList);
+}
+
+TEST_F(TelemetryTest, PipelineFailureReasonsAreNeverSilent) {
+  // A function whose only block loops forever: the reference interpreter
+  // cannot complete, so runAndMeasure must fail with a populated error.
+  Function F("spin");
+  IRBuilder B(F);
+  unsigned Entry = B.startBlock("entry");
+  (void)B.loadImm(1);
+  B.br(Entry);
+
+  MachineModel M = MachineModel::rs6000(8);
+  PipelineResult R = runAndMeasure(StrategyKind::AllocFirst, F, M);
+  EXPECT_FALSE(R.Success);
+  EXPECT_FALSE(R.Error.empty());
+  // The report serializes that reason.
+  json::Value Report = makeStatsReport(R, "alloc-first", M);
+  EXPECT_FALSE(Report.find("pipeline")->find("error")->asString().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON library
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, WriterEscapesAndParserUnescapes) {
+  json::Value V = json::Value::object();
+  V.set("text", "line1\nline2\t\"quoted\" \\slash");
+  V.set("neg", static_cast<int64_t>(-42));
+  V.set("pi", 3.25);
+  V.set("flag", true);
+  V.set("nothing", nullptr);
+  json::Value Arr = json::Value::array();
+  Arr.push(1);
+  Arr.push("two");
+  V.set("arr", std::move(Arr));
+
+  json::Value Back;
+  std::string Error;
+  ASSERT_TRUE(json::parse(V.toString(), Back, Error)) << Error;
+  EXPECT_EQ(Back.find("text")->asString(), "line1\nline2\t\"quoted\" \\slash");
+  EXPECT_EQ(Back.find("neg")->asInt(), -42);
+  EXPECT_DOUBLE_EQ(Back.find("pi")->asDouble(), 3.25);
+  EXPECT_TRUE(Back.find("flag")->asBool());
+  EXPECT_TRUE(Back.find("nothing")->isNull());
+  ASSERT_EQ(Back.find("arr")->elements().size(), 2u);
+  EXPECT_EQ(Back.find("arr")->elements()[1].asString(), "two");
+}
+
+TEST(JsonTest, IntegersSurviveExactly) {
+  json::Value V = json::Value::object();
+  V.set("big", static_cast<uint64_t>(1) << 53);
+  json::Value Back;
+  std::string Error;
+  ASSERT_TRUE(json::parse(V.toString(-1), Back, Error)) << Error;
+  EXPECT_TRUE(Back.find("big")->isInt());
+  EXPECT_EQ(Back.find("big")->asInt(), static_cast<int64_t>(1) << 53);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse("{", V, Error));
+  EXPECT_FALSE(json::parse("[1,]", V, Error));
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", V, Error));
+  EXPECT_FALSE(json::parse("\"unterminated", V, Error));
+  EXPECT_FALSE(json::parse("01x", V, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  json::Value V = json::Value::object();
+  V.set("zebra", 1);
+  V.set("apple", 2);
+  V.set("zebra", 3); // replaces in place, keeps position
+  EXPECT_EQ(V.members()[0].first, "zebra");
+  EXPECT_EQ(V.members()[0].second.asInt(), 3);
+  EXPECT_EQ(V.members()[1].first, "apple");
+  EXPECT_EQ(V.toString(-1), "{\"zebra\":3,\"apple\":2}");
+}
+
+} // namespace
