@@ -25,6 +25,7 @@
 #include "core/ParallelInterferenceGraph.h"
 #include "core/PinterAllocator.h"
 #include "machine/MachineModel.h"
+#include "pipeline/Batch.h"
 #include "pipeline/Strategies.h"
 #include "regalloc/ChaitinAllocator.h"
 #include "regalloc/InterferenceGraph.h"
@@ -66,7 +67,24 @@ void BM_TransitiveClosure(benchmark::State &State) {
     benchmark::DoNotOptimize(R.count());
   }
 }
-BENCHMARK(BM_TransitiveClosure)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_TransitiveClosure)->Arg(32)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TransitiveClosureSetBased(benchmark::State &State) {
+  // The pre-rewrite per-node std::set closure, kept as the differential
+  // oracle; timed against BM_TransitiveClosure at the same sizes to pin
+  // the packed-bitset speedup in BENCH_perf_algorithms.json.
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  DependenceGraph G(F, 0, M);
+  BitMatrix Edges(G.size());
+  for (const DepEdge &E : G.edges())
+    Edges.set(E.From, E.To);
+  for (auto _ : State) {
+    BitMatrix R = Edges.transitiveClosureSetBased();
+    benchmark::DoNotOptimize(R.count());
+  }
+}
+BENCHMARK(BM_TransitiveClosureSetBased)->Arg(32)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_FalseDependenceGraph(benchmark::State &State) {
   Function F = makeBlock(static_cast<unsigned>(State.range(0)));
@@ -135,6 +153,31 @@ void BM_CombinedPipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_CombinedPipeline)->Arg(32)->Arg(128);
+
+void BM_CompileBatch(benchmark::State &State) {
+  // 24 functions through the combined pipeline, sharded across
+  // State.range(0) workers. Serial-vs-parallel wall clock for the batch
+  // driver; on a single-core host all arms degenerate to the Jobs=1 time
+  // (the determinism guarantee makes the outputs identical either way).
+  std::vector<BatchItem> Batch;
+  for (unsigned I = 0; I != 24; ++I) {
+    RandomProgramOptions Opts;
+    Opts.InstructionsPerBlock = 40;
+    Opts.FloatPercent = 40;
+    Opts.MemoryPercent = 25;
+    Opts.Seed = pira::bench::benchSeed(4242) + I;
+    Batch.push_back({"f" + std::to_string(I), generateRandomProgram(Opts)});
+  }
+  MachineModel M = MachineModel::rs6000(12);
+  BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  Opts.Measure = false;
+  for (auto _ : State) {
+    BatchResult R = compileBatch(Batch, M, Opts);
+    benchmark::DoNotOptimize(R.Succeeded);
+  }
+}
+BENCHMARK(BM_CompileBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /// Forwards to the console reporter while collecting every run into a
 /// "pira.bench" JSON document written at exit.

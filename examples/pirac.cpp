@@ -9,10 +9,19 @@
 // statistics. With no input file it compiles a built-in sample so the
 // binary runs out of the box.
 //
-// Usage: pirac [file.pir]
+// With several input files, or with --jobs, pirac switches to the batch
+// driver: every function is compiled through compileBatch() over the
+// work-stealing pool (worker count from --jobs, else PIRA_JOBS, else the
+// hardware), a per-function summary table is printed in input order, and
+// --stats-out emits the batch-shaped "pira.stats" report. Batch results
+// and reports are byte-identical for any --jobs value; only the "timers"
+// section varies (see DESIGN.md).
+//
+// Usage: pirac [file.pir ...]
 //          [--strategy alloc-first|sched-first|ips|combined]
 //          [--machine scalar|paper|mips|rs6000|vliw4]
-//          [--machine-file desc.mach] [--regs N] [--dump-graphs]
+//          [--machine-file desc.mach] [--regs N] [--jobs N]
+//          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
 //          [--time-passes]
 //
@@ -28,6 +37,7 @@
 #include "ir/Verifier.h"
 #include "machine/MachineConfig.h"
 #include "machine/MachineModel.h"
+#include "pipeline/Batch.h"
 #include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
 #include "support/Telemetry.h"
@@ -37,6 +47,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace pira;
 
@@ -65,10 +76,13 @@ block done:
 )";
 
 int main(int argc, char **argv) {
-  std::string Source = SampleProgram;
+  // (name, source) per input; empty after flag parsing means the sample.
+  std::vector<std::pair<std::string, std::string>> Inputs;
   StrategyKind Strategy = StrategyKind::Combined;
   MachineModel Machine = MachineModel::rs6000();
   unsigned Regs = 0;
+  unsigned Jobs = 0;
+  bool BatchMode = false;
   bool DumpGraphs = false;
   std::string TraceOut;
   std::string StatsOut;
@@ -131,6 +145,9 @@ int main(int argc, char **argv) {
       Machine = *Parsed;
     } else if (Arg == "--regs") {
       Regs = static_cast<unsigned>(std::atoi(NextValue().c_str()));
+    } else if (Arg == "--jobs") {
+      Jobs = static_cast<unsigned>(std::atoi(NextValue().c_str()));
+      BatchMode = true;
     } else if (Arg == "--dump-graphs") {
       DumpGraphs = true;
     } else if (Arg == "--trace-out") {
@@ -142,7 +159,7 @@ int main(int argc, char **argv) {
     } else if (Arg == "-") {
       std::ostringstream SS;
       SS << std::cin.rdbuf();
-      Source = SS.str();
+      Inputs.emplace_back("<stdin>", SS.str());
     } else {
       std::ifstream In(Arg);
       if (!In) {
@@ -151,22 +168,78 @@ int main(int argc, char **argv) {
       }
       std::ostringstream SS;
       SS << In.rdbuf();
-      Source = SS.str();
+      Inputs.emplace_back(Arg, SS.str());
     }
   }
   if (Regs != 0)
     Machine.setNumPhysRegs(Regs);
+  if (Inputs.empty())
+    Inputs.emplace_back("<sample>", SampleProgram);
+  if (Inputs.size() > 1)
+    BatchMode = true;
 
-  Function F;
+  std::vector<BatchItem> Batch;
   std::string Error;
-  if (!parseFunction(Source, F, Error)) {
-    std::cerr << "parse error: " << Error << '\n';
-    return 1;
+  for (const auto &[Name, Source] : Inputs) {
+    Function F;
+    if (!parseFunction(Source, F, Error)) {
+      std::cerr << Name << ": parse error: " << Error << '\n';
+      return 1;
+    }
+    if (!verifyFunction(F, Error)) {
+      std::cerr << Name << ": verify error: " << Error << '\n';
+      return 1;
+    }
+    Batch.push_back({Name, std::move(F)});
   }
-  if (!verifyFunction(F, Error)) {
-    std::cerr << "verify error: " << Error << '\n';
-    return 1;
+
+  if (BatchMode) {
+    if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
+      telemetry::setEnabled(true);
+    BatchOptions Opts;
+    Opts.Strategy = Strategy;
+    Opts.Jobs = Jobs;
+    BatchResult BR = compileBatch(Batch, Machine, Opts);
+    std::cout << "; batch of " << Batch.size() << " function(s), "
+              << strategyName(Strategy) << " for " << Machine.name() << " ("
+              << Machine.numPhysRegs() << " regs), " << BR.JobsUsed
+              << " worker(s)\n";
+    for (size_t I = 0; I != Batch.size(); ++I) {
+      const PipelineResult &R = BR.Results[I];
+      std::cout << ";   " << Batch[I].Name << " @"
+                << Batch[I].Input.name() << ": ";
+      if (R.Success)
+        std::cout << "regs " << R.RegistersUsed << ", spills "
+                  << R.SpillInstructions << ", false deps " << R.FalseDeps
+                  << ", cycles " << R.DynCycles << ", semantics "
+                  << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
+      else
+        std::cout << "FAILED: " << R.Error << '\n';
+    }
+    std::cout << "; batch: " << BR.Succeeded << "/" << BR.Results.size()
+              << " ok, static cycles " << BR.TotalStaticCycles
+              << ", dynamic cycles " << BR.TotalDynCycles << '\n';
+
+    bool ReportsOk = true;
+    std::string ReportError;
+    if (!TraceOut.empty() &&
+        !telemetry::writeChromeTraceFile(TraceOut, ReportError)) {
+      std::cerr << "trace-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (!StatsOut.empty() &&
+        !writeJsonFile(makeBatchStatsReport(BR, Batch, strategyName(Strategy),
+                                            Machine),
+                       StatsOut, ReportError)) {
+      std::cerr << "stats-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (TimePasses)
+      telemetry::printTimerReport(std::cerr);
+    return (BR.Succeeded == BR.Results.size() && ReportsOk) ? 0 : 1;
   }
+
+  Function F = std::move(Batch.front().Input);
 
   if (DumpGraphs) {
     // Per-block paper graphs in DOT, before compilation touches F.

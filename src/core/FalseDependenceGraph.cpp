@@ -12,6 +12,8 @@
 #include "machine/MachineModel.h"
 #include "support/Telemetry.h"
 
+#include <array>
+
 using namespace pira;
 
 PIRA_STAT(NumFdgParallelPairs,
@@ -39,43 +41,55 @@ void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
   PIRA_TIME_SCOPE("pig/fdg");
   const BasicBlock &BB = F.block(BlockIdx);
   unsigned N = Gs.size();
-  Constraints = UndirectedGraph(N);
-  MachinePairs = UndirectedGraph(N);
-  ParallelPairs = UndirectedGraph(N);
+
+  // All three edge families are assembled as packed bit matrices and
+  // adopted wholesale (UndirectedGraph::fromSymmetric); every step below
+  // is a word-parallel row operation, never a per-pair insertion. This is
+  // the serial bottleneck each batch worker runs, so it stays O(N^2/64)
+  // per step.
 
   // Et part 1: the transitive closure of Gs, directions removed.
+  BitMatrix Et;
   {
     PIRA_TIME_SCOPE("pig/closure");
-    BitMatrix Reach = Gs.reachability();
-    for (unsigned U = 0; U != N; ++U)
-      for (int V = Reach.row(U).findFirst(); V != -1;
-           V = Reach.row(U).findNext(static_cast<unsigned>(V)))
-        if (static_cast<unsigned>(V) != U)
-          Constraints.addEdge(U, static_cast<unsigned>(V));
+    Et = Gs.reachability();
+    Et.symmetrize();
   }
 
   // Et part 2: non-precedence machine constraints — pairs contending for
   // a unit class with a single unit (the paper's explicit rule; multiple
   // units of one class are left to the scheduler per footnote 3). A
-  // single-issue machine serializes every pair.
-  for (unsigned U = 0; U != N; ++U)
-    for (unsigned V = U + 1; V != N; ++V) {
-      bool Conflict = Machine.issueWidth() == 1;
-      if (!Conflict) {
-        UnitKind KU = BB.inst(U).unit();
-        Conflict = KU == BB.inst(V).unit() && Machine.isSingleUnit(KU);
-      }
-      if (Conflict) {
-        Constraints.addEdge(U, V);
-        MachinePairs.addEdge(U, V);
+  // single-issue machine serializes every pair. Row form: every member of
+  // a contended class absorbs the class's member set.
+  BitMatrix MachineM(N);
+  if (Machine.issueWidth() == 1) {
+    for (unsigned U = 0; U != N; ++U) {
+      MachineM.row(U).setAll();
+      MachineM.reset(U, U);
+    }
+  } else {
+    std::array<BitVector, NumUnitKinds> Members;
+    Members.fill(BitVector(N));
+    for (unsigned U = 0; U != N; ++U)
+      Members[static_cast<unsigned>(BB.inst(U).unit())].set(U);
+    for (unsigned U = 0; U != N; ++U) {
+      UnitKind KU = BB.inst(U).unit();
+      if (Machine.isSingleUnit(KU)) {
+        MachineM.row(U).unionWith(Members[static_cast<unsigned>(KU)]);
+        MachineM.reset(U, U);
       }
     }
+  }
+  for (unsigned U = 0; U != N; ++U)
+    Et.row(U).unionWith(MachineM.row(U));
 
   // Ef: the complement of Et — exactly the pairs that may share a cycle.
-  for (unsigned U = 0; U != N; ++U)
-    for (unsigned V = U + 1; V != N; ++V)
-      if (!Constraints.hasEdge(U, V))
-        ParallelPairs.addEdge(U, V);
+  BitMatrix Ef = Et;
+  Ef.complementOffDiagonal();
+
+  Constraints = UndirectedGraph::fromSymmetric(std::move(Et));
+  MachinePairs = UndirectedGraph::fromSymmetric(std::move(MachineM));
+  ParallelPairs = UndirectedGraph::fromSymmetric(std::move(Ef));
 
   NumFdgParallelPairs += ParallelPairs.numEdges();
   NumFdgMachineConstraintPairs += MachinePairs.numEdges();

@@ -1,0 +1,110 @@
+//===- pipeline/Batch.cpp - Parallel batch-compilation driver -------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Batch.h"
+
+#include "machine/MachineModel.h"
+#include "pipeline/Report.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace pira;
+
+PIRA_STAT(NumBatchesCompiled, "Batch compilations driven");
+PIRA_STAT(NumBatchItemsCompiled, "Functions compiled via compileBatch");
+
+BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
+                               const MachineModel &Machine,
+                               const BatchOptions &Opts) {
+  PIRA_TIME_SCOPE("batch/compile");
+  ++NumBatchesCompiled;
+  NumBatchItemsCompiled += Batch.size();
+
+  BatchResult R;
+  R.Results.resize(Batch.size());
+
+  auto CompileOne = [&](unsigned I) {
+    // Each slot is written by exactly one worker; the MachineModel and
+    // the inputs are read-only. runStrategy copies the function, so the
+    // item itself is never mutated.
+    R.Results[I] =
+        Opts.Measure
+            ? runAndMeasure(Opts.Strategy, Batch[I].Input, Machine,
+                            Opts.Pinter, Opts.Seed)
+            : runStrategy(Opts.Strategy, Batch[I].Input, Machine,
+                          Opts.Pinter);
+  };
+
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobCount() : Opts.Jobs;
+  Jobs = std::max(1u, Jobs);
+  if (Jobs == 1 || Batch.size() <= 1) {
+    // Serial reference path: no pool, same observable results.
+    R.JobsUsed = 1;
+    for (unsigned I = 0, E = static_cast<unsigned>(Batch.size()); I != E; ++I)
+      CompileOne(I);
+  } else {
+    ThreadPool Pool(Jobs);
+    R.JobsUsed = Pool.numWorkers();
+    Pool.parallelFor(static_cast<unsigned>(Batch.size()), CompileOne);
+  }
+
+  // Deterministic merge: aggregates walk the results in input order, and
+  // every aggregated field came from a computation independent of worker
+  // scheduling.
+  for (const PipelineResult &P : R.Results) {
+    if (!P.Success)
+      continue;
+    ++R.Succeeded;
+    R.TotalRegistersUsed = std::max(R.TotalRegistersUsed, P.RegistersUsed);
+    R.TotalSpilledWebs += P.SpilledWebs;
+    R.TotalSpillInstructions += P.SpillInstructions;
+    R.TotalFalseDeps += P.FalseDeps;
+    R.TotalStaticCycles += P.StaticCycles;
+    R.TotalDynCycles += P.DynCycles;
+    R.TotalDynInstructions += P.DynInstructions;
+  }
+  return R;
+}
+
+json::Value pira::makeBatchStatsReport(const BatchResult &R,
+                                       const std::vector<BatchItem> &Batch,
+                                       const std::string &Strategy,
+                                       const MachineModel &Machine) {
+  json::Value Root = json::Value::object();
+  Root.set("schema", StatsSchemaName);
+  Root.set("version", StatsSchemaVersion);
+  if (!Strategy.empty())
+    Root.set("strategy", Strategy);
+  Root.set("machine", machineToJson(Machine));
+
+  json::Value Functions = json::Value::array();
+  for (size_t I = 0; I != R.Results.size(); ++I) {
+    json::Value One = json::Value::object();
+    One.set("name", I < Batch.size() ? Batch[I].Name : std::string());
+    One.set("pipeline", pipelineResultToJson(R.Results[I]));
+    Functions.push(std::move(One));
+  }
+  Root.set("functions", std::move(Functions));
+
+  json::Value Agg = json::Value::object();
+  Agg.set("items", static_cast<uint64_t>(R.Results.size()));
+  Agg.set("succeeded", R.Succeeded);
+  Agg.set("max_registers_used", R.TotalRegistersUsed);
+  Agg.set("spilled_webs", R.TotalSpilledWebs);
+  Agg.set("spill_instructions", R.TotalSpillInstructions);
+  Agg.set("false_deps", R.TotalFalseDeps);
+  Agg.set("static_cycles", R.TotalStaticCycles);
+  Agg.set("dyn_cycles", R.TotalDynCycles);
+  Agg.set("dyn_instructions", R.TotalDynInstructions);
+  Root.set("batch", std::move(Agg));
+
+  Root.set("counters", countersToJson());
+  Root.set("timers", timersToJson());
+  return Root;
+}

@@ -1,0 +1,92 @@
+//===- pipeline/Batch.h - Parallel batch-compilation driver -----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// compileBatch(): runs one strategy over a batch of independent
+/// functions, sharded across a work-stealing thread pool (support/
+/// ThreadPool), with a deterministic merge. Per-function compilation is
+/// pure — runStrategy copies its input, the MachineModel is shared
+/// strictly read-only, and telemetry counters are relaxed atomics — so
+/// the only thread-visible ordering is which worker picks which item,
+/// and results are written into pre-sized slots indexed by input
+/// position. Consequently every field of BatchResult, and the stats
+/// report built from it, is bit-identical for any worker count; only the
+/// telemetry *timers* (wall-clock samples) differ run to run. That is
+/// the determinism contract the parallel-vs-serial property tests pin
+/// down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_PIPELINE_BATCH_H
+#define PIRA_PIPELINE_BATCH_H
+
+#include "pipeline/Strategies.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace pira {
+
+class MachineModel;
+
+/// One unit of batch work: a named symbolic-form function.
+struct BatchItem {
+  std::string Name;  ///< Display name ("file.pir" or the function name).
+  Function Input;    ///< Symbolic code to compile.
+};
+
+/// Batch-wide knobs.
+struct BatchOptions {
+  StrategyKind Strategy = StrategyKind::Combined;
+  PinterOptions Pinter;       ///< Tunes the Combined strategy only.
+  /// Worker threads; 0 means ThreadPool::defaultJobCount() (PIRA_JOBS or
+  /// the hardware concurrency). 1 compiles inline with no pool at all,
+  /// which doubles as the serial reference for determinism checks.
+  unsigned Jobs = 0;
+  bool Measure = true;        ///< Also simulate + check semantics.
+  uint64_t Seed = 42;         ///< Simulation seed (Measure only).
+};
+
+/// Everything a batch run produces. Results sits in input order no
+/// matter which worker finished first.
+struct BatchResult {
+  std::vector<PipelineResult> Results; ///< Parallel to the input batch.
+  unsigned JobsUsed = 0;               ///< Worker threads actually used.
+  unsigned Succeeded = 0;              ///< Results with Success set.
+
+  /// Sums over successful results (deterministic; see file comment).
+  unsigned TotalRegistersUsed = 0;   ///< Max, not sum: peak register need.
+  unsigned TotalSpilledWebs = 0;
+  unsigned TotalSpillInstructions = 0;
+  unsigned TotalFalseDeps = 0;
+  unsigned TotalStaticCycles = 0;
+  uint64_t TotalDynCycles = 0;
+  uint64_t TotalDynInstructions = 0;
+};
+
+/// Compiles every item of \p Batch with \p Opts.Strategy for \p Machine.
+/// \p Machine is shared read-only across workers and must outlive the
+/// call. Items compile independently; a failure in one does not stop the
+/// others.
+BatchResult compileBatch(const std::vector<BatchItem> &Batch,
+                         const MachineModel &Machine,
+                         const BatchOptions &Opts = {});
+
+/// Assembles the versioned "pira.stats" document for a batch run: the
+/// shared preamble, one "functions" array entry per item (input order),
+/// batch aggregates, counters, and timers. Everything except "timers" is
+/// byte-identical across worker counts; the worker count itself is
+/// deliberately not recorded so reports diff clean across --jobs values.
+json::Value makeBatchStatsReport(const BatchResult &R,
+                                 const std::vector<BatchItem> &Batch,
+                                 const std::string &Strategy,
+                                 const MachineModel &Machine);
+
+} // namespace pira
+
+#endif // PIRA_PIPELINE_BATCH_H

@@ -1,0 +1,157 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace pira;
+
+unsigned ThreadPool::defaultJobCount() {
+  if (const char *Raw = std::getenv("PIRA_JOBS")) {
+    char *End = nullptr;
+    long V = std::strtol(Raw, &End, 10);
+    if (End != Raw && *End == '\0' && V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  if (NumWorkers == 0)
+    NumWorkers = defaultJobCount();
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Queues.push_back(std::make_unique<WorkQueue>());
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  size_t Target;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Pending;
+    Target = NextQueue++ % Queues.size();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Target]->Mutex);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::popTask(unsigned Self, std::function<void()> &Out) {
+  // Own deque: newest first, for locality with tasks that spawn tasks.
+  {
+    WorkQueue &Q = *Queues[Self];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (!Q.Tasks.empty()) {
+      Out = std::move(Q.Tasks.back());
+      Q.Tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim.
+  for (size_t Offset = 1; Offset != Queues.size(); ++Offset) {
+    WorkQueue &Q = *Queues[(Self + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (!Q.Tasks.empty()) {
+      Out = std::move(Q.Tasks.front());
+      Q.Tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  while (true) {
+    std::function<void()> Task;
+    if (popTask(Self, Task)) {
+      Task();
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Pending == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Stop)
+      return;
+    // Re-check under the lock: a task may have been submitted between
+    // the failed pop and acquiring the lock, and its notify missed us.
+    bool Empty = true;
+    for (auto &Q : Queues) {
+      std::lock_guard<std::mutex> QLock(Q->Mutex);
+      Empty = Q->Tasks.empty();
+      if (!Empty)
+        break;
+    }
+    if (!Empty)
+      continue;
+    WorkAvailable.wait(Lock);
+  }
+}
+
+void ThreadPool::wait() {
+  // Help out instead of blocking: the waiter (often the main thread, or
+  // a task waiting on subtasks) drains queues alongside the workers.
+  unsigned Self = 0; // steal order does not matter for the helper
+  while (true) {
+    std::function<void()> Task;
+    if (popTask(Self, Task)) {
+      Task();
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Pending == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Pending == 0)
+      return;
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+    return;
+  }
+}
+
+void ThreadPool::parallelFor(unsigned N,
+                             const std::function<void(unsigned)> &Body) {
+  if (N == 0)
+    return;
+  if (numWorkers() == 1 || N == 1) {
+    // Degenerate cases run inline: same observable effects, no handoff.
+    for (unsigned I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  // One task per index; the atomic cursor keeps per-task overhead tiny
+  // relative to a compileBatch-sized body, and index identity (not
+  // completion order) decides where results land.
+  std::atomic<unsigned> Next{0};
+  unsigned Tasks = std::min(N, numWorkers() * 4);
+  for (unsigned T = 0; T != Tasks; ++T)
+    submit([&Next, N, &Body] {
+      for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        Body(I);
+    });
+  wait();
+}

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool for the batch-compilation driver. Every
+/// worker owns a deque: new tasks are dealt round-robin across the
+/// deques, owners pop from the back (LIFO, cache-warm), and an idle
+/// worker steals from the front of a victim's deque (FIFO, oldest work
+/// first). The pool itself imposes no ordering on task completion —
+/// callers that need determinism (compileBatch does) write results into
+/// pre-sized slots indexed by submission order.
+///
+/// Worker-count selection: an explicit count wins, else the PIRA_JOBS
+/// environment variable, else the hardware concurrency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SUPPORT_THREADPOOL_H
+#define PIRA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pira {
+
+/// A fixed-size work-stealing pool. Construction spawns the workers;
+/// destruction drains remaining tasks and joins them.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers workers; 0 means defaultJobCount().
+  explicit ThreadPool(unsigned NumWorkers = 0);
+
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Returns the number of worker threads.
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task. Tasks must not throw; a task may submit further
+  /// tasks. Safe to call from any thread.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far (including tasks those
+  /// tasks spawned) has finished. The calling thread helps by stealing
+  /// work while it waits, so wait() from inside a task cannot deadlock
+  /// the pool.
+  void wait();
+
+  /// Runs Body(I) for every I in [0, N), distributed over the pool, and
+  /// blocks until all iterations finish. \p Body must be safe to call
+  /// concurrently for distinct indices.
+  void parallelFor(unsigned N, const std::function<void(unsigned)> &Body);
+
+  /// The worker count used when none is given: PIRA_JOBS when set to a
+  /// positive integer, otherwise std::thread::hardware_concurrency()
+  /// (at least 1).
+  static unsigned defaultJobCount();
+
+private:
+  /// One worker's deque plus its lock. Stealing keeps contention low by
+  /// touching one victim at a time.
+  struct WorkQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Self);
+  /// Pops work for worker \p Self: own deque back first, then steals
+  /// front-of-deque round-robin from the others. Returns false when every
+  /// deque is empty.
+  bool popTask(unsigned Self, std::function<void()> &Out);
+
+  std::vector<std::unique_ptr<WorkQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex; ///< Guards Pending / Stop transitions for the CVs.
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t Pending = 0; ///< Submitted but not yet finished tasks.
+  size_t NextQueue = 0;
+  bool Stop = false;
+};
+
+} // namespace pira
+
+#endif // PIRA_SUPPORT_THREADPOOL_H

@@ -34,6 +34,27 @@ public:
   explicit UndirectedGraph(unsigned NumVertices)
       : Adjacency(NumVertices), Degrees(NumVertices, 0) {}
 
+  /// Adopts \p Adjacency wholesale as the edge set. The matrix must be
+  /// symmetric with a zero diagonal; degrees and the edge count are
+  /// derived by word-parallel popcounts, so bulk graph construction
+  /// (e.g. the false-dependence graph's complement step) costs O(N^2/64)
+  /// instead of one addEdge per pair.
+  static UndirectedGraph fromSymmetric(BitMatrix Adjacency) {
+    UndirectedGraph G;
+    unsigned N = Adjacency.size();
+    G.Degrees.resize(N);
+    unsigned Total = 0;
+    for (unsigned V = 0; V != N; ++V) {
+      assert(!Adjacency.test(V, V) && "self loops are not allowed");
+      G.Degrees[V] = Adjacency.row(V).count();
+      Total += G.Degrees[V];
+    }
+    assert(Total % 2 == 0 && "adjacency matrix must be symmetric");
+    G.NumEdges = Total / 2;
+    G.Adjacency = std::move(Adjacency);
+    return G;
+  }
+
   /// Returns the number of vertices.
   unsigned numVertices() const { return Adjacency.size(); }
 

@@ -1,0 +1,153 @@
+//===- tests/differential_test.cpp - Theorem-1 differential oracle --------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// The paper's core claim as an executable differential oracle, swept
+// over ~200 seeded random programs: a coloring of the parallelizable
+// interference graph (Pinter) introduces zero false dependences and
+// spills nothing when colors suffice, while Chaitin coloring of the
+// plain interference graph on the *same* input is free to reuse
+// registers across co-issuable instructions — and measurably does,
+// somewhere in the corpus. The batch driver leans on exactly this
+// invariant, so it is pinned here independently of any pipeline code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Webs.h"
+#include "core/FalseDepChecker.h"
+#include "core/ParallelInterferenceGraph.h"
+#include "core/PinterAllocator.h"
+#include "machine/MachineModel.h"
+#include "regalloc/ChaitinAllocator.h"
+#include "regalloc/InterferenceGraph.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace pira;
+
+namespace {
+
+/// Ample register budget: "colors suffice" for every generated program.
+constexpr unsigned AmpleRegs = 64;
+
+/// Program #I of the corpus: shapes, mixes, and seeds all rotate so the
+/// 200 programs cover every generator mode.
+Function corpusProgram(unsigned I) {
+  static const CfgShape Shapes[] = {CfgShape::Straight, CfgShape::Diamond,
+                                    CfgShape::Loop, CfgShape::NestedDiamond,
+                                    CfgShape::DoubleLoop};
+  RandomProgramOptions Opts;
+  Opts.Shape = Shapes[I % 5];
+  Opts.InstructionsPerBlock = 10 + I % 7;
+  Opts.FloatPercent = 20 + (I * 13) % 60;
+  Opts.MemoryPercent = 10 + (I * 7) % 30;
+  Opts.Seed = 1 + I * 104729; // distinct primes-stride seeds
+  return generateRandomProgram(Opts);
+}
+
+/// The machine each corpus program is checked on; rotating models keeps
+/// the oracle honest about unit contention, not just data dependences.
+MachineModel corpusMachine(unsigned I) {
+  switch (I % 3) {
+  case 0:
+    return MachineModel::paperTwoUnit(AmpleRegs);
+  case 1:
+    return MachineModel::rs6000(AmpleRegs);
+  default:
+    return MachineModel::vliw4(AmpleRegs);
+  }
+}
+
+struct DifferentialOutcome {
+  bool PinterColored = false;
+  unsigned PinterFalseDeps = 0;
+  unsigned PinterDroppedEdges = 0;
+  bool ChaitinColored = false;
+  unsigned ChaitinFalseDeps = 0;
+};
+
+/// Colors one program both ways and counts false dependences in each
+/// allocated twin.
+DifferentialOutcome runDifferential(const Function &Symbolic,
+                                    const MachineModel &M) {
+  DifferentialOutcome Out;
+  Webs W(Symbolic);
+  InterferenceGraph IG(Symbolic, W);
+  ParallelInterferenceGraph PIG(Symbolic, W, IG, M);
+  std::vector<double> Costs(W.numWebs(), 1.0);
+
+  Allocation Pinter = pinterColor(PIG, Costs, AmpleRegs);
+  Out.PinterColored = Pinter.fullyColored();
+  Out.PinterDroppedEdges = Pinter.ParallelEdgesDropped;
+  if (Out.PinterColored) {
+    Function Alloc = Symbolic;
+    applyAllocation(Alloc, W, Pinter);
+    Out.PinterFalseDeps =
+        static_cast<unsigned>(findFalseDependences(Symbolic, Alloc, M).size());
+  }
+
+  Allocation Chaitin = chaitinColor(IG.graph(), Costs, AmpleRegs);
+  Out.ChaitinColored = Chaitin.fullyColored();
+  if (Out.ChaitinColored) {
+    Function Alloc = Symbolic;
+    applyAllocation(Alloc, W, Chaitin);
+    Out.ChaitinFalseDeps =
+        static_cast<unsigned>(findFalseDependences(Symbolic, Alloc, M).size());
+  }
+  return Out;
+}
+
+class DifferentialOracle : public testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(DifferentialOracle, PinterIntroducesNoFalseDependence) {
+  unsigned I = GetParam();
+  Function Symbolic = corpusProgram(I);
+  MachineModel M = corpusMachine(I);
+  DifferentialOutcome Out = runDifferential(Symbolic, M);
+
+  // Theorem 1, both arms: with ample colors the PIG coloring neither
+  // spills nor gives up parallel edges, and the allocated code carries
+  // zero false dependences. Chaitin is merely *allowed* to differ; its
+  // counts are asserted at corpus level below.
+  ASSERT_TRUE(Out.PinterColored)
+      << AmpleRegs << " registers must suffice for program " << I;
+  EXPECT_EQ(Out.PinterDroppedEdges, 0u) << "program " << I;
+  EXPECT_EQ(Out.PinterFalseDeps, 0u)
+      << "Theorem 1 violated on program " << I << " (" << M.name() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DifferentialOracle,
+                         testing::Range(0u, 200u));
+
+// The contrast that makes the oracle differential: summed over the whole
+// corpus, the baseline introduces false dependences (the PIG coloring,
+// per the parameterized test above, introduces none anywhere). If the
+// generator ever degenerates to programs with no exploitable
+// parallelism, this canary fails before the comparison becomes vacuous.
+TEST(DifferentialOracle, ChaitinIntroducesFalseDependencesSomewhere) {
+  uint64_t ChaitinTotal = 0;
+  uint64_t PinterTotal = 0;
+  unsigned BothColored = 0;
+  for (unsigned I = 0; I != 200; ++I) {
+    Function Symbolic = corpusProgram(I);
+    MachineModel M = corpusMachine(I);
+    DifferentialOutcome Out = runDifferential(Symbolic, M);
+    if (!Out.PinterColored || !Out.ChaitinColored)
+      continue;
+    ++BothColored;
+    ChaitinTotal += Out.ChaitinFalseDeps;
+    PinterTotal += Out.PinterFalseDeps;
+  }
+  // Nearly every program must color under 64 registers in both arms for
+  // the comparison to mean anything.
+  EXPECT_GE(BothColored, 190u);
+  EXPECT_EQ(PinterTotal, 0u);
+  EXPECT_GT(ChaitinTotal, 0u)
+      << "the baseline never introduced a false dependence across 200 "
+         "programs; the differential corpus has lost its discriminating "
+         "power";
+}

@@ -8,11 +8,13 @@
 #include "support/BitMatrix.h"
 #include "support/BitVector.h"
 #include "support/DotWriter.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/UndirectedGraph.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -326,4 +328,214 @@ TEST(DotWriterTest, AllEdgesDumpsGraph) {
   }
   EXPECT_NE(OS.str().find("n0 -- n1"), std::string::npos);
   EXPECT_NE(OS.str().find("n1 -- n2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Transitive closure: packed-bitset vs. set-based reference
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A random DAG on \p N nodes: edges only from lower to higher index,
+/// each present with probability \p EdgePercent.
+BitMatrix randomDag(unsigned N, unsigned EdgePercent, uint64_t Seed) {
+  Rng R(Seed);
+  BitMatrix M(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J != N; ++J)
+      if (R.chancePercent(EdgePercent))
+        M.set(I, J);
+  return M;
+}
+
+} // namespace
+
+TEST(TransitiveClosureTest, BitsetMatchesSetBasedReferenceOnRandomDags) {
+  // Sizes straddle the word width and reach the 512-node blocks the
+  // closure benchmark times; densities cover sparse through near-dense.
+  for (unsigned N : {1u, 7u, 63u, 64u, 65u, 200u, 512u})
+    for (unsigned Density : {2u, 10u, 40u}) {
+      BitMatrix Dag = randomDag(N, Density, N * 1000 + Density);
+      BitMatrix Reference = Dag.transitiveClosureSetBased();
+      BitMatrix Packed = Dag;
+      Packed.transitiveClosure();
+      EXPECT_EQ(Packed, Reference)
+          << "closures diverge at N=" << N << " density=" << Density << "%";
+    }
+}
+
+TEST(TransitiveClosureTest, SetBasedReferenceLeavesInputUntouched) {
+  BitMatrix Dag = randomDag(50, 20, 99);
+  BitMatrix Copy = Dag;
+  (void)Dag.transitiveClosureSetBased();
+  EXPECT_EQ(Dag, Copy);
+}
+
+TEST(TransitiveClosureTest, ClosureOfChainIsFullUpperTriangle) {
+  unsigned N = 130;
+  BitMatrix Chain(N);
+  for (unsigned I = 0; I + 1 != N; ++I)
+    Chain.set(I, I + 1);
+  BitMatrix Reference = Chain.transitiveClosureSetBased();
+  Chain.transitiveClosure();
+  EXPECT_EQ(Chain, Reference);
+  EXPECT_EQ(Chain.count(), N * (N - 1) / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// UndirectedGraph::fromSymmetric
+//===----------------------------------------------------------------------===//
+
+TEST(UndirectedGraphTest, FromSymmetricMatchesIncrementalConstruction) {
+  Rng R(4242);
+  unsigned N = 150;
+  UndirectedGraph Incremental(N);
+  BitMatrix M(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J != N; ++J)
+      if (R.chancePercent(15)) {
+        Incremental.addEdge(I, J);
+        M.setSymmetric(I, J);
+      }
+  UndirectedGraph Bulk = UndirectedGraph::fromSymmetric(std::move(M));
+  ASSERT_EQ(Bulk.numVertices(), Incremental.numVertices());
+  EXPECT_EQ(Bulk.numEdges(), Incremental.numEdges());
+  for (unsigned V = 0; V != N; ++V) {
+    EXPECT_EQ(Bulk.degree(V), Incremental.degree(V)) << "vertex " << V;
+    EXPECT_EQ(Bulk.neighbors(V), Incremental.neighbors(V)) << "vertex " << V;
+  }
+  EXPECT_EQ(Bulk.edgeList(), Incremental.edgeList());
+}
+
+TEST(UndirectedGraphTest, FromSymmetricEmptyAndComplete) {
+  UndirectedGraph Empty = UndirectedGraph::fromSymmetric(BitMatrix(40));
+  EXPECT_EQ(Empty.numEdges(), 0u);
+  BitMatrix Full(40);
+  for (unsigned I = 0; I != 40; ++I)
+    for (unsigned J = 0; J != 40; ++J)
+      if (I != J)
+        Full.set(I, J);
+  UndirectedGraph Complete = UndirectedGraph::fromSymmetric(std::move(Full));
+  EXPECT_EQ(Complete.numEdges(), 40u * 39u / 2);
+  EXPECT_EQ(Complete.degree(17), 39u);
+}
+
+//===----------------------------------------------------------------------===//
+// Json parser edge cases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses \p Text, asserting success, and returns the value.
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+/// Parses \p Text, asserting failure, and returns the error message.
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Text, V, Error));
+  return Error;
+}
+
+/// Builds Depth nested arrays around a zero: [[[...0...]]].
+std::string nestedArrays(unsigned Depth) {
+  std::string S;
+  S.append(Depth, '[');
+  S += '0';
+  S.append(Depth, ']');
+  return S;
+}
+
+} // namespace
+
+TEST(JsonEdgeTest, MalformedUtf8BytesPassThroughStrings) {
+  // The parser treats strings as byte sequences; invalid UTF-8 (a lone
+  // continuation byte, an overlong-start byte) must neither crash nor be
+  // altered on a write/parse round trip. Telemetry reports embed function
+  // names that ultimately come from arbitrary user input.
+  std::string Raw = std::string("a\x80") + "\xC3" + "b\xFF";
+  json::Value V(Raw);
+  std::string Serialized = V.toString();
+  json::Value Back = parseOk(Serialized);
+  ASSERT_TRUE(Back.isString());
+  EXPECT_EQ(Back.asString(), Raw);
+}
+
+TEST(JsonEdgeTest, ControlCharactersEscapeAndRoundTrip) {
+  std::string Raw = "tab\there\nnewline\x01unit";
+  json::Value Back = parseOk(json::Value(Raw).toString());
+  ASSERT_TRUE(Back.isString());
+  EXPECT_EQ(Back.asString(), Raw);
+}
+
+TEST(JsonEdgeTest, DeepNestingWithinLimitParses) {
+  json::Value V = parseOk(nestedArrays(150));
+  unsigned Depth = 0;
+  const json::Value *Cur = &V;
+  while (Cur->isArray()) {
+    ASSERT_EQ(Cur->size(), 1u);
+    Cur = &Cur->elements().front();
+    ++Depth;
+  }
+  EXPECT_EQ(Depth, 150u);
+  ASSERT_TRUE(Cur->isInt());
+  EXPECT_EQ(Cur->asInt(), 0);
+}
+
+TEST(JsonEdgeTest, NestingBeyondLimitIsRejectedNotOverflowed) {
+  // The recursive-descent parser must refuse pathological inputs with a
+  // clean error instead of exhausting the stack.
+  EXPECT_NE(parseErr(nestedArrays(300)).find("nesting too deep"),
+            std::string::npos);
+  EXPECT_NE(parseErr(nestedArrays(5000)).find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(JsonEdgeTest, DuplicateObjectKeysLastValueWins) {
+  json::Value V = parseOk(R"({"k": 1, "other": true, "k": 2})");
+  ASSERT_TRUE(V.isObject());
+  // The duplicate collapses into the member's original slot: one entry,
+  // holding the last value, with insertion order otherwise preserved.
+  ASSERT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.members()[0].first, "k");
+  EXPECT_EQ(V.members()[1].first, "other");
+  const json::Value *K = V.find("k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->asInt(), 2);
+}
+
+TEST(JsonEdgeTest, NegativeZeroIntegerParsesAsZero) {
+  json::Value V = parseOk("-0");
+  ASSERT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), 0);
+}
+
+TEST(JsonEdgeTest, NegativeZeroDoubleKeepsItsSign) {
+  json::Value V = parseOk("-0.0");
+  ASSERT_FALSE(V.isInt());
+  ASSERT_TRUE(V.isNumber());
+  EXPECT_EQ(V.asDouble(), 0.0);
+  EXPECT_TRUE(std::signbit(V.asDouble()));
+}
+
+TEST(JsonEdgeTest, Int64ExtremesRoundTripExactly) {
+  // Counters are int64; both extremes must survive write/parse without
+  // drifting through a double.
+  for (int64_t I : {INT64_MAX, INT64_MIN, int64_t{0}, int64_t{-1}}) {
+    json::Value Back = parseOk(json::Value(I).toString());
+    ASSERT_TRUE(Back.isInt()) << I;
+    EXPECT_EQ(Back.asInt(), I);
+  }
+}
+
+TEST(JsonEdgeTest, IntegerOverflowIsAnErrorNotSilentWrap) {
+  EXPECT_NE(parseErr("9223372036854775808").find("number out of range"),
+            std::string::npos);
+  EXPECT_NE(parseErr("-9223372036854775809").find("number out of range"),
+            std::string::npos);
 }
