@@ -17,13 +17,27 @@
 // and reports are byte-identical for any --jobs value; only the "timers"
 // section varies (see DESIGN.md).
 //
+// The driver is fault-isolated end to end: an unreadable, unparsable, or
+// unverifiable input gets a per-file diagnostic and is skipped — never a
+// reason to abandon the rest of the batch — and every function compiles
+// through the guarded pipeline (budget checks, watchdog deadline,
+// degradation ladder; DESIGN.md §8). Input failures land in the stats
+// report's "failures" section next to compile failures, and pirac exits
+// nonzero at the end if anything went wrong along the way.
+//
 // Usage: pirac [file.pir ...]
-//          [--strategy alloc-first|sched-first|ips|combined]
+//          [--strategy alloc-first|sched-first|ips|combined|spill-all]
 //          [--machine scalar|paper|mips|rs6000|vliw4]
 //          [--machine-file desc.mach] [--regs N] [--jobs N]
+//          [--deadline-ms N] [--max-instructions N] [--max-blocks N]
+//          [--no-degrade] [--fault-inject site:n[,site:n...]]
 //          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
 //          [--time-passes]
+//
+// --fault-inject (or the PIRA_FAULT environment variable) arms the
+// deterministic fault-injection harness; see support/FaultInjection.h
+// for the site table.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +54,7 @@
 #include "pipeline/Batch.h"
 #include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
+#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 
 #include <cstdlib>
@@ -87,32 +102,40 @@ int main(int argc, char **argv) {
   std::string TraceOut;
   std::string StatsOut;
   bool TimePasses = false;
+  ResourceBudget Budget;
+  bool NoDegrade = false;
+
+  // Inputs that never reach compilation: unreadable files, parse and
+  // verify failures. They are reported per file, carried into the stats
+  // report, and folded into the exit code — but they never stop the run.
+  std::vector<BatchFailure> InputFailures;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    auto NextValue = [&]() -> std::string {
+    // False (with a message) when the flag's value is missing; a usage
+    // error is the one thing that still ends the run immediately.
+    auto NextValue = [&](std::string &Out) -> bool {
       if (I + 1 >= argc) {
-        std::cerr << "missing value for " << Arg << '\n';
-        std::exit(1);
+        std::cerr << "pirac: missing value for " << Arg << '\n';
+        return false;
       }
-      return argv[++I];
+      Out = argv[++I];
+      return true;
     };
     if (Arg == "--strategy") {
-      std::string V = NextValue();
-      if (V == "alloc-first")
-        Strategy = StrategyKind::AllocFirst;
-      else if (V == "sched-first")
-        Strategy = StrategyKind::SchedFirst;
-      else if (V == "ips")
-        Strategy = StrategyKind::IntegratedPrepass;
-      else if (V == "combined")
-        Strategy = StrategyKind::Combined;
-      else {
-        std::cerr << "unknown strategy '" << V << "'\n";
-        return 1;
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Expected<StrategyKind> K = strategyFromName(V);
+      if (!K) {
+        std::cerr << "pirac: " << K.status().toString() << '\n';
+        return 2;
       }
+      Strategy = *K;
     } else if (Arg == "--machine") {
-      std::string V = NextValue();
+      std::string V;
+      if (!NextValue(V))
+        return 2;
       if (V == "scalar")
         Machine = MachineModel::scalar();
       else if (V == "paper")
@@ -124,14 +147,17 @@ int main(int argc, char **argv) {
       else if (V == "vliw4")
         Machine = MachineModel::vliw4();
       else {
-        std::cerr << "unknown machine '" << V << "'\n";
-        return 1;
+        std::cerr << "pirac: unknown machine '" << V << "'\n";
+        return 2;
       }
     } else if (Arg == "--machine-file") {
-      std::ifstream In(NextValue());
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      std::ifstream In(V);
       if (!In) {
-        std::cerr << "cannot open machine description\n";
-        return 1;
+        std::cerr << "pirac: cannot open machine description '" << V << "'\n";
+        return 2;
       }
       std::ostringstream SS;
       SS << In.rdbuf();
@@ -139,21 +165,56 @@ int main(int argc, char **argv) {
       std::optional<MachineModel> Parsed =
           parseMachineModel(SS.str(), MachineError);
       if (!Parsed) {
-        std::cerr << "machine description error: " << MachineError << '\n';
-        return 1;
+        std::cerr << "pirac: machine description error: " << MachineError
+                  << '\n';
+        return 2;
       }
       Machine = *Parsed;
     } else if (Arg == "--regs") {
-      Regs = static_cast<unsigned>(std::atoi(NextValue().c_str()));
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Regs = static_cast<unsigned>(std::atoi(V.c_str()));
     } else if (Arg == "--jobs") {
-      Jobs = static_cast<unsigned>(std::atoi(NextValue().c_str()));
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Jobs = static_cast<unsigned>(std::atoi(V.c_str()));
       BatchMode = true;
+    } else if (Arg == "--deadline-ms") {
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Budget.DeadlineMs = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (Arg == "--max-instructions") {
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Budget.MaxInstructions = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (Arg == "--max-blocks") {
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      Budget.MaxBlocks = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (Arg == "--no-degrade") {
+      NoDegrade = true;
+    } else if (Arg == "--fault-inject") {
+      std::string V;
+      if (!NextValue(V))
+        return 2;
+      std::string FaultError;
+      if (!faultinject::configure(V, FaultError)) {
+        std::cerr << "pirac: --fault-inject: " << FaultError << '\n';
+        return 2;
+      }
     } else if (Arg == "--dump-graphs") {
       DumpGraphs = true;
     } else if (Arg == "--trace-out") {
-      TraceOut = NextValue();
+      if (!NextValue(TraceOut))
+        return 2;
     } else if (Arg == "--stats-out") {
-      StatsOut = NextValue();
+      if (!NextValue(StatsOut))
+        return 2;
     } else if (Arg == "--time-passes") {
       TimePasses = true;
     } else if (Arg == "-") {
@@ -163,8 +224,12 @@ int main(int argc, char **argv) {
     } else {
       std::ifstream In(Arg);
       if (!In) {
-        std::cerr << "cannot open '" << Arg << "'\n";
-        return 1;
+        std::cerr << "pirac: cannot open '" << Arg << "'\n";
+        Status S = Status::error(ErrorCode::InvalidArgument, "input",
+                                 "cannot open file");
+        S.addContext("input " + Arg);
+        InputFailures.push_back({Arg, std::move(S)});
+        continue;
       }
       std::ostringstream SS;
       SS << In.rdbuf();
@@ -173,24 +238,32 @@ int main(int argc, char **argv) {
   }
   if (Regs != 0)
     Machine.setNumPhysRegs(Regs);
-  if (Inputs.empty())
+  if (Inputs.empty() && InputFailures.empty())
     Inputs.emplace_back("<sample>", SampleProgram);
-  if (Inputs.size() > 1)
+  if (Inputs.size() + InputFailures.size() > 1)
     BatchMode = true;
 
   std::vector<BatchItem> Batch;
-  std::string Error;
-  for (const auto &[Name, Source] : Inputs) {
-    Function F;
-    if (!parseFunction(Source, F, Error)) {
-      std::cerr << Name << ": parse error: " << Error << '\n';
-      return 1;
+  for (size_t Idx = 0; Idx != Inputs.size(); ++Idx) {
+    const auto &[Name, Source] = Inputs[Idx];
+    // The parse-time fault key is the input's position, mirroring the
+    // batch-position keys compileBatch assigns at compile time, so
+    // "parse.enter:n" fires for a fixed set of inputs at any --jobs.
+    faultinject::ScopedKey Key(Idx);
+    Expected<Function> F = parseFunctionEx(Source, Name);
+    if (!F) {
+      std::cerr << "pirac: " << Name << ": " << F.status().toString() << '\n';
+      InputFailures.push_back({Name, F.status()});
+      continue;
     }
-    if (!verifyFunction(F, Error)) {
-      std::cerr << Name << ": verify error: " << Error << '\n';
-      return 1;
+    Status VS = verifyFunctionStatus(*F);
+    if (!VS.ok()) {
+      VS.addContext("input " + Name);
+      std::cerr << "pirac: " << Name << ": " << VS.toString() << '\n';
+      InputFailures.push_back({Name, std::move(VS)});
+      continue;
     }
-    Batch.push_back({Name, std::move(F)});
+    Batch.push_back({Name, F.take()});
   }
 
   if (BatchMode) {
@@ -199,6 +272,8 @@ int main(int argc, char **argv) {
     BatchOptions Opts;
     Opts.Strategy = Strategy;
     Opts.Jobs = Jobs;
+    Opts.Budget = Budget;
+    Opts.Degrade = !NoDegrade;
     BatchResult BR = compileBatch(Batch, Machine, Opts);
     std::cout << "; batch of " << Batch.size() << " function(s), "
               << strategyName(Strategy) << " for " << Machine.name() << " ("
@@ -206,18 +281,30 @@ int main(int argc, char **argv) {
               << " worker(s)\n";
     for (size_t I = 0; I != Batch.size(); ++I) {
       const PipelineResult &R = BR.Results[I];
+      const CompileOutcome &O = BR.Outcomes[I];
       std::cout << ";   " << Batch[I].Name << " @"
                 << Batch[I].Input.name() << ": ";
-      if (R.Success)
+      if (R.Success) {
         std::cout << "regs " << R.RegistersUsed << ", spills "
                   << R.SpillInstructions << ", false deps " << R.FalseDeps
                   << ", cycles " << R.DynCycles << ", semantics "
-                  << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
-      else
-        std::cout << "FAILED: " << R.Error << '\n';
+                  << (R.SemanticsPreserved ? "pass" : "FAIL");
+        if (O.Degraded)
+          std::cout << " (degraded to " << O.Used << ", rung " << O.Rung
+                    << ")";
+        std::cout << '\n';
+      } else {
+        std::cout << "FAILED: "
+                  << (R.Diag.ok() ? R.Error : R.Diag.toString()) << '\n';
+      }
     }
     std::cout << "; batch: " << BR.Succeeded << "/" << BR.Results.size()
-              << " ok, static cycles " << BR.TotalStaticCycles
+              << " ok";
+    if (!InputFailures.empty())
+      std::cout << ", " << InputFailures.size() << " input failure(s)";
+    if (BR.Degraded != 0)
+      std::cout << ", " << BR.Degraded << " degraded";
+    std::cout << ", static cycles " << BR.TotalStaticCycles
               << ", dynamic cycles " << BR.TotalDynCycles << '\n';
 
     bool ReportsOk = true;
@@ -229,16 +316,22 @@ int main(int argc, char **argv) {
     }
     if (!StatsOut.empty() &&
         !writeJsonFile(makeBatchStatsReport(BR, Batch, strategyName(Strategy),
-                                            Machine),
+                                            Machine, InputFailures),
                        StatsOut, ReportError)) {
       std::cerr << "stats-out: " << ReportError << '\n';
       ReportsOk = false;
     }
     if (TimePasses)
       telemetry::printTimerReport(std::cerr);
-    return (BR.Succeeded == BR.Results.size() && ReportsOk) ? 0 : 1;
+    return (BR.Succeeded == BR.Results.size() && InputFailures.empty() &&
+            ReportsOk)
+               ? 0
+               : 1;
   }
 
+  // Single-function mode; the lone input may already have failed.
+  if (Batch.empty())
+    return 1;
   Function F = std::move(Batch.front().Input);
 
   if (DumpGraphs) {
@@ -275,7 +368,23 @@ int main(int argc, char **argv) {
   if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
     telemetry::setEnabled(true);
 
-  PipelineResult R = runAndMeasure(Strategy, F, Machine);
+  // Single-function compiles run under the same guard as batch items:
+  // budget checks, watchdog deadline, exception capture, degradation
+  // ladder. The fault key stays at its default of 0, so every armed site
+  // fires — handy for exercising one site in isolation.
+  BatchOptions GuardOpts;
+  GuardOpts.Strategy = Strategy;
+  GuardOpts.Budget = Budget;
+  GuardOpts.Degrade = !NoDegrade;
+  GuardedResult G = compileFunctionGuarded(F, Machine, GuardOpts);
+  PipelineResult &R = G.Result;
+
+  for (const CompileAttempt &A : G.Outcome.FailedAttempts)
+    std::cout << "; attempt " << A.Rung << " failed: " << A.Diag.toString()
+              << '\n';
+  if (G.Outcome.Degraded)
+    std::cout << "; NOTE: degraded to " << G.Outcome.Used << " (rung "
+              << G.Outcome.Rung << ")\n";
 
   // Reports are written even for failed runs — a trace of a failing
   // pipeline is exactly when you want one.
@@ -299,7 +408,8 @@ int main(int argc, char **argv) {
   };
 
   if (!R.Success) {
-    std::cerr << "compilation failed: " << R.Error << '\n';
+    std::cerr << "compilation failed: "
+              << (R.Diag.ok() ? R.Error : R.Diag.toString()) << '\n';
     EmitReports();
     return 1;
   }

@@ -17,6 +17,7 @@
 #include "regalloc/SpillInserter.h"
 #include "sched/PreScheduler.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "support/UndirectedGraph.h"
 
 #include <cassert>
@@ -201,6 +202,9 @@ PinterStats pira::pinterAllocate(Function &F, unsigned NumRegs,
   constexpr double Infinite = std::numeric_limits<double>::infinity();
 
   for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+    // Cooperative watchdog: a stalled color/spill/repeat loop unwinds
+    // here instead of holding its worker hostage.
+    deadline::checkpoint();
     ++Stats.Rounds;
     ++NumPinterRounds;
     // Preliminary EP reordering improves the *input* order once. It must

@@ -8,6 +8,7 @@
 #include "ir/Parser.h"
 
 #include "ir/Function.h"
+#include "support/FaultInjection.h"
 
 #include <cctype>
 #include <map>
@@ -496,4 +497,24 @@ bool pira::parseFunction(std::string_view Text, Function &F,
   Error.clear();
   Parser P(Text, F, Error);
   return P.run();
+}
+
+Expected<Function> pira::parseFunctionEx(std::string_view Text,
+                                         std::string_view Name) {
+  std::string Frame =
+      "input " + (Name.empty() ? std::string("<input>") : std::string(Name));
+  if (faultinject::shouldFire("parse.enter")) {
+    Status S = Status::error(ErrorCode::FaultInjected, "parse",
+                             "injected parse failure");
+    S.addContext(std::move(Frame));
+    return S;
+  }
+  Function F;
+  std::string Error;
+  if (!parseFunction(Text, F, Error)) {
+    Status S = Status::error(ErrorCode::ParseError, "parse", Error);
+    S.addContext(std::move(Frame));
+    return S;
+  }
+  return F;
 }

@@ -15,6 +15,8 @@
 #ifndef PIRA_IR_PARSER_H
 #define PIRA_IR_PARSER_H
 
+#include "support/Status.h"
+
 #include <string>
 #include <string_view>
 
@@ -28,6 +30,15 @@ class Function;
 /// \p Error; \p F is left in an unspecified state. On success \p F holds
 /// the parsed function and Error is empty.
 bool parseFunction(std::string_view Text, Function &F, std::string &Error);
+
+/// Structured-diagnostic front end to parseFunction. Runs the
+/// "parse.enter" fault-injection site first (an injected fault comes back
+/// as a FaultInjected Status, not an exception — parsing happens on the
+/// driver thread, outside the guarded-compile exception net). Parse
+/// failures come back as a ParseError Status whose context names
+/// \p Name (a file name or other input label; "<input>" when empty).
+Expected<Function> parseFunctionEx(std::string_view Text,
+                                   std::string_view Name = {});
 
 } // namespace pira
 

@@ -129,3 +129,12 @@ bool pira::verifyFunction(const Function &F, std::string &Error) {
   Error.clear();
   return Checker(F, Error).run();
 }
+
+Status pira::verifyFunctionStatus(const Function &F) {
+  std::string Error;
+  if (verifyFunction(F, Error))
+    return Status();
+  Status S = Status::error(ErrorCode::VerifyError, "verify", Error);
+  S.addContext("function @" + F.name());
+  return S;
+}

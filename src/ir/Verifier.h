@@ -16,6 +16,8 @@
 #ifndef PIRA_IR_VERIFIER_H
 #define PIRA_IR_VERIFIER_H
 
+#include "support/Status.h"
+
 #include <string>
 
 namespace pira {
@@ -27,6 +29,10 @@ class Function;
 /// \returns true when well-formed; otherwise false with a diagnostic in
 /// \p Error describing the first violation found.
 bool verifyFunction(const Function &F, std::string &Error);
+
+/// Structured-diagnostic front end to verifyFunction: failures come back
+/// as a VerifyError Status whose context names the offending function.
+Status verifyFunctionStatus(const Function &F);
 
 } // namespace pira
 

@@ -19,6 +19,28 @@
 /// the determinism contract the parallel-vs-serial property tests pin
 /// down.
 ///
+/// Fault isolation (the failure model, see DESIGN.md §8): every function
+/// compiles through compileFunctionGuarded, which
+///
+///   1. rejects inputs over the resource budget (instruction / block
+///      caps) with a structured ResourceExhausted diagnostic,
+///   2. arms the per-task watchdog deadline around each attempt,
+///   3. captures phase exceptions, injected faults, and deadline
+///      overruns into the function's result instead of letting them
+///      escape to the pool, and
+///   4. walks the degradation ladder — requested strategy, then
+///      Chaitin (alloc-first), then the spill-everywhere baseline — so
+///      that every input yields verifier-clean code unless even the
+///      bottom rung fails.
+///
+/// A failed or degraded function never stops the batch; its outcome is
+/// recorded per-function and surfaced in the stats report's "failures"
+/// and "degradations" sections. Ladder decisions depend only on the
+/// input (fault-injection keys are input positions, real wall-clock
+/// deadlines are off by default), so fault-injected batches keep the
+/// worker-count determinism guarantee. Arming DeadlineMs trades that
+/// guarantee for overrun protection — expiry depends on machine load.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_PIPELINE_BATCH_H
@@ -40,6 +62,18 @@ struct BatchItem {
   Function Input;    ///< Symbolic code to compile.
 };
 
+/// Per-function resource budget; 0 means unlimited. Instruction and
+/// block caps are checked against the input before any phase runs and
+/// are fully deterministic. DeadlineMs arms the cooperative per-task
+/// watchdog (support/ThreadPool) around every ladder rung — overruns
+/// depend on wall clock, so arming it trades batch determinism for
+/// protection against pathological inputs.
+struct ResourceBudget {
+  uint64_t MaxInstructions = 0; ///< Cap on input instruction count.
+  uint64_t MaxBlocks = 0;       ///< Cap on input basic-block count.
+  uint64_t DeadlineMs = 0;      ///< Wall-clock budget per ladder rung.
+};
+
 /// Batch-wide knobs.
 struct BatchOptions {
   StrategyKind Strategy = StrategyKind::Combined;
@@ -50,14 +84,61 @@ struct BatchOptions {
   unsigned Jobs = 0;
   bool Measure = true;        ///< Also simulate + check semantics.
   uint64_t Seed = 42;         ///< Simulation seed (Measure only).
+  ResourceBudget Budget;      ///< Per-function resource limits.
+  /// Walk the degradation ladder on failure (requested strategy →
+  /// alloc-first → spill-all). Off means one attempt, report as-is.
+  bool Degrade = true;
+};
+
+/// One failed ladder attempt: which rung, and why it failed.
+struct CompileAttempt {
+  std::string Rung;  ///< Strategy name of the attempt.
+  Status Diag;       ///< Its structured failure.
+};
+
+/// How one function travelled through the guard and the ladder.
+struct CompileOutcome {
+  std::string Requested;   ///< Strategy the caller asked for.
+  std::string Used;        ///< Rung that produced the final result
+                           ///< (empty when the budget rejected the input).
+  unsigned Rung = 0;       ///< 0 = requested strategy, 1 = alloc-first, ...
+  bool Degraded = false;   ///< Succeeded, but below the requested rung.
+  std::vector<CompileAttempt> FailedAttempts; ///< Rungs that failed first.
+};
+
+/// Guarded result: the final PipelineResult (last rung attempted) plus
+/// the ladder record.
+struct GuardedResult {
+  PipelineResult Result;
+  CompileOutcome Outcome;
+};
+
+/// Compiles one function under the full fault-isolation contract (see
+/// file comment): budget check, watchdog deadline, exception capture,
+/// degradation ladder. Never throws; every failure is a structured
+/// diagnostic in the returned result.
+GuardedResult compileFunctionGuarded(const Function &Input,
+                                     const MachineModel &Machine,
+                                     const BatchOptions &Opts = {});
+
+/// An input that never reached compilation (unreadable file, parse or
+/// verify failure). pirac collects these so the stats report's
+/// "failures" section covers the whole input set, not just the
+/// functions that compiled.
+struct BatchFailure {
+  std::string Name;
+  Status Diag;
 };
 
 /// Everything a batch run produces. Results sits in input order no
 /// matter which worker finished first.
 struct BatchResult {
-  std::vector<PipelineResult> Results; ///< Parallel to the input batch.
-  unsigned JobsUsed = 0;               ///< Worker threads actually used.
-  unsigned Succeeded = 0;              ///< Results with Success set.
+  std::vector<PipelineResult> Results;  ///< Parallel to the input batch.
+  std::vector<CompileOutcome> Outcomes; ///< Ladder record per item.
+  unsigned JobsUsed = 0;                ///< Worker threads actually used.
+  unsigned Succeeded = 0;               ///< Results with Success set.
+  unsigned Failed = 0;                  ///< Results with Success clear.
+  unsigned Degraded = 0;                ///< Succeeded below the requested rung.
 
   /// Sums over successful results (deterministic; see file comment).
   unsigned TotalRegistersUsed = 0;   ///< Max, not sum: peak register need.
@@ -72,20 +153,24 @@ struct BatchResult {
 /// Compiles every item of \p Batch with \p Opts.Strategy for \p Machine.
 /// \p Machine is shared read-only across workers and must outlive the
 /// call. Items compile independently; a failure in one does not stop the
-/// others.
+/// others. Each item's fault-injection key is its input position.
 BatchResult compileBatch(const std::vector<BatchItem> &Batch,
                          const MachineModel &Machine,
                          const BatchOptions &Opts = {});
 
 /// Assembles the versioned "pira.stats" document for a batch run: the
 /// shared preamble, one "functions" array entry per item (input order),
-/// batch aggregates, counters, and timers. Everything except "timers" is
+/// batch aggregates, a "failures" array (every failed function plus the
+/// \p InputFailures that never compiled), a "degradations" array (every
+/// function rescued below its requested rung, with the per-rung
+/// diagnostics), counters, and timers. Everything except "timers" is
 /// byte-identical across worker counts; the worker count itself is
 /// deliberately not recorded so reports diff clean across --jobs values.
 json::Value makeBatchStatsReport(const BatchResult &R,
                                  const std::vector<BatchItem> &Batch,
                                  const std::string &Strategy,
-                                 const MachineModel &Machine);
+                                 const MachineModel &Machine,
+                                 const std::vector<BatchFailure> &InputFailures = {});
 
 } // namespace pira
 

@@ -18,6 +18,7 @@ json::Value pira::pipelineResultToJson(const PipelineResult &R) {
   json::Value P = json::Value::object();
   P.set("success", R.Success);
   P.set("error", R.Error);
+  P.set("diagnostic", R.Diag.toJson());
   P.set("registers_used", R.RegistersUsed);
   P.set("spilled_webs", R.SpilledWebs);
   P.set("spill_instructions", R.SpillInstructions);

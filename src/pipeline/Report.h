@@ -12,16 +12,25 @@
 /// 1). `pirac --stats-out` and the bench binaries emit this format so
 /// the perf trajectory of the repo is diffable across PRs.
 ///
-/// Schema (version 1):
+/// Schema (version 2):
 ///
 ///   {
-///     "schema": "pira.stats", "version": 1,
+///     "schema": "pira.stats", "version": 2,
 ///     "strategy": "combined",            // when known
 ///     "machine": {"name": ..., "registers": N, "issue_width": W},
-///     "pipeline": { ...every PipelineResult scalar field... },
+///     "pipeline": { ...every PipelineResult scalar field...,
+///                   "diagnostic": {"code", "phase", "message",
+///                                  "context": [...]} },
 ///     "counters": {"NumFoo": {"value": N, "description": ...}, ...},
 ///     "timers": [{"path": ..., "calls": N, "total_ns": N}, ...]
 ///   }
+///
+/// Batch reports (makeBatchStatsReport) replace "pipeline" with a
+/// "functions" array and add "batch" aggregates plus "failures" and
+/// "degradations" sections (the failure model; see DESIGN.md §8).
+/// Version history: v2 added "diagnostic" per result and the batch
+/// "failures"/"degradations" sections and "failed"/"degraded"
+/// aggregates.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,7 +48,7 @@ class MachineModel;
 
 /// Schema constants; bump the version whenever a field changes meaning.
 inline constexpr const char *StatsSchemaName = "pira.stats";
-inline constexpr int StatsSchemaVersion = 1;
+inline constexpr int StatsSchemaVersion = 2;
 
 /// Serializes every scalar field of \p R (code and schedule bodies are
 /// deliberately omitted — they belong to the textual printers).

@@ -7,17 +7,22 @@
 
 #include "pipeline/Strategies.h"
 
+#include "analysis/Webs.h"
 #include "core/FalseDepChecker.h"
 #include "ir/Verifier.h"
 #include "machine/MachineModel.h"
 #include "regalloc/ChaitinAllocator.h"
+#include "regalloc/SpillInserter.h"
 #include "sched/ListScheduler.h"
 #include "sched/IntegratedPrepass.h"
 #include "sched/PreScheduler.h"
 #include "sim/SuperscalarSim.h"
+#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
-#include <cassert>
+#include <numeric>
+#include <set>
 
 using namespace pira;
 
@@ -34,9 +39,29 @@ const char *pira::strategyName(StrategyKind Kind) {
     return "goodman-hsu-ips";
   case StrategyKind::Combined:
     return "combined";
+  case StrategyKind::SpillAll:
+    return "spill-all";
   }
-  assert(false && "unknown strategy");
-  return "?";
+  // Out-of-range enum values reach here (e.g. a bad cast); naming them
+  // beats the undefined behaviour an assert leaves in release builds.
+  return "unknown";
+}
+
+Expected<StrategyKind> pira::strategyFromName(std::string_view Name) {
+  if (Name == "alloc-first")
+    return StrategyKind::AllocFirst;
+  if (Name == "sched-first")
+    return StrategyKind::SchedFirst;
+  if (Name == "ips" || Name == "goodman-hsu-ips")
+    return StrategyKind::IntegratedPrepass;
+  if (Name == "combined")
+    return StrategyKind::Combined;
+  if (Name == "spill-all")
+    return StrategyKind::SpillAll;
+  return Status::error(ErrorCode::InvalidArgument, "strategy",
+                       "unknown strategy '" + std::string(Name) +
+                           "' (expected alloc-first, sched-first, ips, "
+                           "combined, or spill-all)");
 }
 
 /// Timer label for one strategy (PIRA_TIME_SCOPE needs a literal with
@@ -51,8 +76,19 @@ static const char *strategyScopeName(StrategyKind Kind) {
     return "strategy/goodman-hsu-ips";
   case StrategyKind::Combined:
     return "strategy/combined";
+  case StrategyKind::SpillAll:
+    return "strategy/spill-all";
   }
   return "strategy/unknown";
+}
+
+/// Marks \p R failed with both the legacy string and the structured
+/// diagnostic.
+static void fail(PipelineResult &R, ErrorCode Code, std::string Phase,
+                 std::string Message) {
+  R.Success = false;
+  R.Error = Message;
+  R.Diag = Status::error(Code, std::move(Phase), std::move(Message));
 }
 
 /// Shared tail: schedule the allocated code, count false dependences,
@@ -64,15 +100,21 @@ static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
   std::string VerifyError;
   {
     PIRA_TIME_SCOPE("verify/final");
-    if (!verifyFunction(R.Final, VerifyError)) {
-      R.Success = false;
-      R.Error = "final code fails verification (pipeline aborted before "
-                "scheduling and simulation; dynamic counts are zero and "
-                "semantics were never checked): " +
-                VerifyError;
+    bool Injected = faultinject::shouldFire("verify.final");
+    if (Injected || !verifyFunction(R.Final, VerifyError)) {
+      if (Injected)
+        VerifyError = "injected verification failure";
+      fail(R, Injected ? ErrorCode::FaultInjected : ErrorCode::VerifyError,
+           "verify/final",
+           "final code fails verification (pipeline aborted before "
+           "scheduling and simulation; dynamic counts are zero and "
+           "semantics were never checked): " +
+               VerifyError);
       return;
     }
   }
+  faultinject::maybeThrow("sched.final");
+  deadline::checkpoint();
   R.Sched = scheduleFunction(R.Final, Machine);
   R.StaticCycles = R.Sched.totalMakespan();
   {
@@ -87,25 +129,49 @@ static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
 PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
                                  const MachineModel &Machine,
                                  const PinterOptions &Opts) {
-  assert(!Input.isAllocated() && "strategies start from symbolic code");
   PIRA_TIME_SCOPE(strategyScopeName(Kind));
   ++NumPipelineRuns;
   PipelineResult R;
+  if (Input.isAllocated()) {
+    // Input-dependent precondition: a structured error, not an assert
+    // that vanishes (into UB) under NDEBUG.
+    fail(R, ErrorCode::InvalidArgument, "strategy",
+         "strategies start from symbolic code, but @" + Input.name() +
+             " is already allocated");
+    ++NumPipelineFailures;
+    return R;
+  }
+  faultinject::maybeThrow("strategy.entry");
+  deadline::checkpoint();
   R.Final = Input;
   unsigned K = Machine.numPhysRegs();
 
-  switch (Kind) {
-  case StrategyKind::AllocFirst: {
-    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
-                                       &R.SymbolicTwin);
+  // Shared Chaitin tail of the three phase-ordered strategies; also the
+  // residue coloring of SpillAll. \p Site lets the fault harness target
+  // the real strategies without condemning the safety-net rung.
+  auto AllocateWithChaitin = [&](const char *Site) -> bool {
+    bool Injected = faultinject::shouldFire(Site);
+    AllocStats Stats;
+    if (!Injected)
+      Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32, &R.SymbolicTwin);
     if (!Stats.Success) {
-      R.Error = "chaitin allocation did not converge";
-      return R;
+      fail(R, Injected ? ErrorCode::FaultInjected : ErrorCode::AllocFailure,
+           "alloc/chaitin",
+           Injected ? "injected allocation failure"
+                    : "chaitin allocation did not converge");
+      return false;
     }
     R.Success = true;
     R.RegistersUsed = Stats.ColorsUsed;
-    R.SpilledWebs = Stats.SpilledWebs;
-    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
+    R.SpilledWebs += Stats.SpilledWebs;
+    R.SpillInstructions += Stats.SpillStores + Stats.SpillLoads;
+    return true;
+  };
+
+  switch (Kind) {
+  case StrategyKind::AllocFirst: {
+    if (!AllocateWithChaitin("alloc.chaitin"))
+      return R;
     break;
   }
   case StrategyKind::SchedFirst: {
@@ -119,38 +185,27 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
       for (unsigned B = 0, E = R.Final.numBlocks(); B != E; ++B)
         reorderBlockBySchedule(R.Final, B, Pre.Blocks[B]);
     }
-    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
-                                       &R.SymbolicTwin);
-    if (!Stats.Success) {
-      R.Error = "chaitin allocation did not converge";
+    if (!AllocateWithChaitin("alloc.chaitin"))
       return R;
-    }
-    R.Success = true;
-    R.RegistersUsed = Stats.ColorsUsed;
-    R.SpilledWebs = Stats.SpilledWebs;
-    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
     break;
   }
   case StrategyKind::IntegratedPrepass: {
     // Goodman-Hsu: pressure-aware prepass ordering, then Chaitin.
     integratedPrepassSchedule(R.Final, Machine, K);
-    AllocStats Stats = chaitinAllocate(R.Final, K, /*MaxRounds=*/32,
-                                       &R.SymbolicTwin);
-    if (!Stats.Success) {
-      R.Error = "chaitin allocation did not converge";
+    if (!AllocateWithChaitin("alloc.chaitin"))
       return R;
-    }
-    R.Success = true;
-    R.RegistersUsed = Stats.ColorsUsed;
-    R.SpilledWebs = Stats.SpilledWebs;
-    R.SpillInstructions = Stats.SpillStores + Stats.SpillLoads;
     break;
   }
   case StrategyKind::Combined: {
-    PinterStats Stats =
-        pinterAllocate(R.Final, K, Machine, Opts, &R.SymbolicTwin);
+    bool Injected = faultinject::shouldFire("alloc.pinter");
+    PinterStats Stats;
+    if (!Injected)
+      Stats = pinterAllocate(R.Final, K, Machine, Opts, &R.SymbolicTwin);
     if (!Stats.Success) {
-      R.Error = "combined allocation did not converge";
+      fail(R, Injected ? ErrorCode::FaultInjected : ErrorCode::AllocFailure,
+           "alloc/pinter",
+           Injected ? "injected allocation failure"
+                    : "combined allocation did not converge");
       return R;
     }
     R.Success = true;
@@ -160,13 +215,41 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
     R.ParallelEdgesDropped = Stats.ParallelEdgesDropped;
     break;
   }
+  case StrategyKind::SpillAll: {
+    // The safety net: send every web to memory, then color the residue
+    // of short reload/store ranges. Lives entirely in spill code, so it
+    // succeeds wherever Chaitin's degenerate case (everything already
+    // spilled) would — the bottom rung of the degradation ladder.
+    PIRA_TIME_SCOPE("alloc/spill-all");
+    {
+      Webs W(R.Final);
+      std::vector<unsigned> AllWebs(W.numWebs());
+      std::iota(AllWebs.begin(), AllWebs.end(), 0u);
+      std::set<Reg> NoSpillRegs;
+      SpillCode Code = insertSpillCode(R.Final, W, AllWebs, NoSpillRegs);
+      R.SpilledWebs = static_cast<unsigned>(AllWebs.size());
+      R.SpillInstructions = Code.Stores + Code.Loads;
+    }
+    if (!AllocateWithChaitin("alloc.spillall"))
+      return R;
+    break;
+  }
+  default:
+    fail(R, ErrorCode::InvalidArgument, "strategy",
+         "unknown strategy kind " +
+             std::to_string(static_cast<int>(Kind)));
+    ++NumPipelineFailures;
+    return R;
   }
 
+  deadline::checkpoint();
   finishPipeline(R, Machine);
   if (!R.Success) {
     ++NumPipelineFailures;
     if (R.Error.empty())
       R.Error = "pipeline failed without a recorded reason";
+    if (R.Diag.ok())
+      R.Diag = Status::error(ErrorCode::Internal, "strategy", R.Error);
   }
   return R;
 }
@@ -181,15 +264,17 @@ PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
 
   // Ground truth: sequential interpretation of the *input* code.
   PIRA_TIME_SCOPE("sim/measure");
+  faultinject::maybeThrow("sim.measure");
+  deadline::checkpoint();
   ExecState Initial = makeInitialState(Input, Seed);
   ExecResult Ref = [&] {
     PIRA_TIME_SCOPE("sim/reference");
     return interpret(Input, Initial);
   }();
   if (!Ref.Completed) {
-    R.Success = false;
     ++NumPipelineFailures;
-    R.Error = "reference interpretation failed: " + Ref.Error;
+    fail(R, ErrorCode::SimFailure, "sim/reference",
+         "reference interpretation failed: " + Ref.Error);
     return R;
   }
 
@@ -209,11 +294,10 @@ PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
   R.DynCycles = Sim.Cycles;
   R.DynInstructions = Sim.Instructions;
   if (!Sim.Completed) {
-    R.Success = false;
     ++NumPipelineFailures;
-    R.Error = "simulation failed after " +
-              std::to_string(R.DynInstructions) + " instructions: " +
-              Sim.Error;
+    fail(R, ErrorCode::SimFailure, "sim/measure",
+         "simulation failed after " + std::to_string(R.DynInstructions) +
+             " instructions: " + Sim.Error);
     return R;
   }
 
@@ -241,11 +325,11 @@ PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
 
   R.SemanticsPreserved = Mismatch.empty();
   if (!R.SemanticsPreserved) {
-    R.Success = false;
     ++NumPipelineFailures;
-    R.Error = "semantics diverged from the sequential reference after " +
-              std::to_string(R.DynInstructions) + " instructions: " +
-              Mismatch;
+    fail(R, ErrorCode::SemanticsDiverged, "sim/measure",
+         "semantics diverged from the sequential reference after " +
+             std::to_string(R.DynInstructions) + " instructions: " +
+             Mismatch);
   }
   return R;
 }

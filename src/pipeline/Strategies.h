@@ -20,10 +20,16 @@
 ///     prepass scheduler, then Chaitin allocation and final scheduling.
 ///   * Combined — the paper's framework: coloring of the parallelizable
 ///     interference graph (PinterAllocator), then list scheduling.
+///   * SpillAll — the always-succeeds safety net: every web is spilled
+///     to memory up front, leaving only short reload/store ranges for a
+///     trivial coloring. Slow code, but verifier-clean on inputs that
+///     defeat every real allocator — the bottom rung of the batch
+///     driver's degradation ladder.
 ///
 /// Every strategy reports the same statistics so benches can print them
 /// side by side, and validates semantics against the sequential
-/// interpreter.
+/// interpreter. Failures are structured: PipelineResult carries both the
+/// legacy Error string and a Status diagnostic (code, phase, context).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +39,11 @@
 #include "core/PinterAllocator.h"
 #include "ir/Function.h"
 #include "sched/Schedule.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace pira {
 
@@ -47,15 +55,24 @@ enum class StrategyKind {
   SchedFirst,
   IntegratedPrepass,
   Combined,
+  SpillAll,
 };
 
-/// Returns a short printable name ("alloc-first", ...).
+/// Returns a short printable name ("alloc-first", ...). Out-of-range
+/// values (a cast gone wrong, a corrupted report) map to "unknown" —
+/// never undefined behaviour, release builds included.
 const char *strategyName(StrategyKind Kind);
+
+/// Parses a strategy name ("alloc-first", "sched-first", "ips" or
+/// "goodman-hsu-ips", "combined", "spill-all"). Unknown names produce an
+/// InvalidArgument Status listing the accepted spellings.
+Expected<StrategyKind> strategyFromName(std::string_view Name);
 
 /// Everything a strategy run produces.
 struct PipelineResult {
   bool Success = false;          ///< Allocation converged and code verifies.
   std::string Error;             ///< First failure when !Success.
+  Status Diag;                   ///< Structured twin of Error (Ok on success).
   Function Final;                ///< Allocated (physical-register) code.
   Function SymbolicTwin;         ///< Post-spill symbolic code (for checks).
   FunctionSchedule Sched;        ///< Final schedule of Final.
@@ -77,6 +94,9 @@ struct PipelineResult {
 
 /// Runs \p Kind on a copy of \p Input for \p Machine (whose register file
 /// bounds the allocator). \p Opts tunes the Combined strategy only.
+/// May throw faultinject::FaultInjectedError (armed throw-sites) or
+/// deadline::DeadlineExceededError (armed watchdog deadline); the batch
+/// driver's guard turns both into per-function diagnostics.
 PipelineResult runStrategy(StrategyKind Kind, const Function &Input,
                            const MachineModel &Machine,
                            const PinterOptions &Opts = {});

@@ -13,6 +13,7 @@
 #include "regalloc/SpillCost.h"
 #include "regalloc/SpillInserter.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "support/UndirectedGraph.h"
 
 #include <cassert>
@@ -169,6 +170,9 @@ AllocStats pira::chaitinAllocate(Function &F, unsigned NumRegs,
   constexpr double Infinite = std::numeric_limits<double>::infinity();
 
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    // Cooperative watchdog: a stalled color/spill/repeat loop unwinds
+    // here instead of holding its worker hostage.
+    deadline::checkpoint();
     ++Stats.Rounds;
     ++NumChaitinRounds;
     Webs W(F);

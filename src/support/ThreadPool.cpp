@@ -7,10 +7,138 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <set>
 
 using namespace pira;
+
+//===----------------------------------------------------------------------===//
+// Per-task deadline watchdog
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One armed deadline. Owned by the registry (not the arming thread) so
+/// the watchdog can safely touch it even while the task unwinds.
+struct DeadlineRecord {
+  Clock::time_point At;
+  std::atomic<bool> Expired{false};
+};
+
+/// The process-wide watchdog: a registry of armed deadlines and one
+/// monitor thread that marks overruns. Intentionally leaked — the
+/// detached monitor may outlive main(), so the state must never be
+/// destroyed under it.
+struct WatchdogState {
+  std::mutex Mutex;
+  std::condition_variable Changed;
+  std::set<DeadlineRecord *> Active;
+  std::vector<DeadlineRecord *> FreeList;
+  bool MonitorRunning = false;
+
+  void monitorLoop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (true) {
+      if (Active.empty()) {
+        Changed.wait(Lock);
+        continue;
+      }
+      Clock::time_point Earliest = Clock::time_point::max();
+      for (DeadlineRecord *R : Active)
+        if (!R->Expired.load(std::memory_order_relaxed) && R->At < Earliest)
+          Earliest = R->At;
+      if (Earliest == Clock::time_point::max()) {
+        // Everything active is already marked; wait for change.
+        Changed.wait(Lock);
+        continue;
+      }
+      Changed.wait_until(Lock, Earliest);
+      Clock::time_point Now = Clock::now();
+      for (DeadlineRecord *R : Active)
+        if (Now >= R->At)
+          R->Expired.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  DeadlineRecord *arm(Clock::time_point At) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    DeadlineRecord *R;
+    if (!FreeList.empty()) {
+      R = FreeList.back();
+      FreeList.pop_back();
+    } else {
+      R = new DeadlineRecord;
+    }
+    R->At = At;
+    R->Expired.store(false, std::memory_order_relaxed);
+    Active.insert(R);
+    if (!MonitorRunning) {
+      MonitorRunning = true;
+      std::thread([this] { monitorLoop(); }).detach();
+    }
+    Changed.notify_all();
+    return R;
+  }
+
+  void disarm(DeadlineRecord *R) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Active.erase(R);
+    FreeList.push_back(R);
+    Changed.notify_all();
+  }
+};
+
+WatchdogState &watchdog() {
+  static WatchdogState *W = new WatchdogState;
+  return *W;
+}
+
+thread_local DeadlineRecord *CurrentDeadline = nullptr;
+
+} // namespace
+
+deadline::ScopedDeadline::ScopedDeadline(uint64_t BudgetMs)
+    : Record(nullptr), Prev(CurrentDeadline) {
+  if (BudgetMs == 0)
+    return;
+  DeadlineRecord *R =
+      watchdog().arm(Clock::now() + std::chrono::milliseconds(BudgetMs));
+  Record = R;
+  CurrentDeadline = R;
+}
+
+deadline::ScopedDeadline::~ScopedDeadline() {
+  if (Record == nullptr)
+    return;
+  CurrentDeadline = static_cast<DeadlineRecord *>(Prev);
+  watchdog().disarm(static_cast<DeadlineRecord *>(Record));
+}
+
+bool pira::deadline::expired() {
+  if (faultinject::shouldFire("budget.deadline"))
+    return true;
+  DeadlineRecord *R = CurrentDeadline;
+  if (R == nullptr)
+    return false;
+  // The direct clock check makes expiry prompt even between watchdog
+  // wakeups; the flag makes a stalled clock-free loop observable.
+  return R->Expired.load(std::memory_order_relaxed) || Clock::now() >= R->At;
+}
+
+void pira::deadline::checkpoint() {
+  if (expired())
+    throw DeadlineExceededError();
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
 
 unsigned ThreadPool::defaultJobCount() {
   if (const char *Raw = std::getenv("PIRA_JOBS")) {
@@ -35,7 +163,11 @@ ThreadPool::ThreadPool(unsigned NumWorkers) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait();
+  try {
+    wait();
+  } catch (...) {
+    // Destructors must not throw; an unobserved task failure dies here.
+  }
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Stop = true;
@@ -83,11 +215,24 @@ bool ThreadPool::popTask(unsigned Self, std::function<void()> &Out) {
   return false;
 }
 
+void ThreadPool::runTask(std::function<void()> &Task) {
+  try {
+    Task();
+  } catch (...) {
+    // Capture the first exception; later ones are dropped (the batch
+    // driver catches per-function, so multiples here mean a direct pool
+    // user — the first failure is the actionable one).
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+}
+
 void ThreadPool::workerLoop(unsigned Self) {
   while (true) {
     std::function<void()> Task;
     if (popTask(Self, Task)) {
-      Task();
+      runTask(Task);
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--Pending == 0)
         AllDone.notify_all();
@@ -118,18 +263,24 @@ void ThreadPool::wait() {
   while (true) {
     std::function<void()> Task;
     if (popTask(Self, Task)) {
-      Task();
+      runTask(Task);
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--Pending == 0)
         AllDone.notify_all();
       continue;
     }
     std::unique_lock<std::mutex> Lock(Mutex);
-    if (Pending == 0)
-      return;
     AllDone.wait(Lock, [this] { return Pending == 0; });
-    return;
+    break;
   }
+  // Every task finished; surface the first failure on the waiter.
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    std::swap(E, FirstError);
+  }
+  if (E)
+    std::rethrow_exception(E);
 }
 
 void ThreadPool::parallelFor(unsigned N,
@@ -137,9 +288,20 @@ void ThreadPool::parallelFor(unsigned N,
   if (N == 0)
     return;
   if (numWorkers() == 1 || N == 1) {
-    // Degenerate cases run inline: same observable effects, no handoff.
-    for (unsigned I = 0; I != N; ++I)
-      Body(I);
+    // Degenerate cases run inline: same observable effects, no handoff —
+    // including exception behaviour (first failure reported, every
+    // iteration still runs).
+    std::exception_ptr E;
+    for (unsigned I = 0; I != N; ++I) {
+      try {
+        Body(I);
+      } catch (...) {
+        if (!E)
+          E = std::current_exception();
+      }
+    }
+    if (E)
+      std::rethrow_exception(E);
     return;
   }
   // One task per index; the atomic cursor keeps per-task overhead tiny
