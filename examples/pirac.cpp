@@ -31,6 +31,7 @@
 //          [--machine-file desc.mach] [--regs N] [--jobs N]
 //          [--deadline-ms N] [--max-instructions N] [--max-blocks N]
 //          [--no-degrade] [--fault-inject site:n[,site:n...]]
+//          [--cache off|on|verify] [--cache-dir DIR]
 //          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
 //          [--time-passes]
@@ -38,6 +39,13 @@
 // --fault-inject (or the PIRA_FAULT environment variable) arms the
 // deterministic fault-injection harness; see support/FaultInjection.h
 // for the site table.
+//
+// --cache-dir DIR arms the content-addressed compilation cache
+// (pipeline/Cache.h) with an on-disk tier under DIR, implying
+// --cache on unless a mode was given explicitly; --cache on alone runs
+// memory-only. --cache verify recompiles hits anyway and cross-checks
+// byte identity; any mismatch makes the run exit nonzero. Caching
+// applies in batch mode (several inputs, or --jobs).
 //
 //===----------------------------------------------------------------------===//
 
@@ -52,16 +60,21 @@
 #include "machine/MachineConfig.h"
 #include "machine/MachineModel.h"
 #include "pipeline/Batch.h"
+#include "pipeline/Cache.h"
 #include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 using namespace pira;
@@ -90,6 +103,36 @@ block done:
 }
 )";
 
+/// Strictly parses \p Text as a decimal count for \p Flag: the whole
+/// string must be digits and the value must fit in [\p Min, \p Max].
+/// atoi-style silent zeroes ("--regs banana") and wrapped garbage
+/// ("--regs 99999999999") become diagnostics instead. On failure prints
+/// the Status and returns false (callers exit 2, the usage-error code).
+static bool parseCliCount(const std::string &Flag, const std::string &Text,
+                          uint64_t Min, uint64_t Max, uint64_t &Out) {
+  uint64_t Value = 0;
+  const char *Begin = Text.data(), *End = Begin + Text.size();
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Value);
+  std::string Problem;
+  if (Text.empty() || Ec == std::errc::invalid_argument || Ptr == Begin)
+    Problem = "expected an unsigned integer, got '" + Text + "'";
+  else if (Ptr != End)
+    Problem = "trailing junk after number in '" + Text + "'";
+  else if (Ec == std::errc::result_out_of_range || Value > Max)
+    Problem = "value '" + Text + "' is out of range (max " +
+              std::to_string(Max) + ")";
+  else if (Value < Min)
+    Problem = "value must be at least " + std::to_string(Min);
+  if (!Problem.empty()) {
+    Status S = Status::error(ErrorCode::InvalidArgument, "cli",
+                             Flag + ": " + Problem);
+    std::cerr << "pirac: " << S.toString() << '\n';
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
 int main(int argc, char **argv) {
   // (name, source) per input; empty after flag parsing means the sample.
   std::vector<std::pair<std::string, std::string>> Inputs;
@@ -104,6 +147,9 @@ int main(int argc, char **argv) {
   bool TimePasses = false;
   ResourceBudget Budget;
   bool NoDegrade = false;
+  CacheMode CacheModeFlag = CacheMode::Off;
+  bool CacheFlagSeen = false;
+  std::string CacheDir;
 
   // Inputs that never reach compilation: unreadable files, parse and
   // verify failures. They are reported per file, carried into the stats
@@ -172,30 +218,51 @@ int main(int argc, char **argv) {
       Machine = *Parsed;
     } else if (Arg == "--regs") {
       std::string V;
-      if (!NextValue(V))
+      uint64_t N = 0;
+      // A zero register file cannot hold any value live; reject it here
+      // rather than let every allocator fail one by one.
+      if (!NextValue(V) ||
+          !parseCliCount(Arg, V, 1, std::numeric_limits<unsigned>::max(), N))
         return 2;
-      Regs = static_cast<unsigned>(std::atoi(V.c_str()));
+      Regs = static_cast<unsigned>(N);
     } else if (Arg == "--jobs") {
       std::string V;
-      if (!NextValue(V))
+      uint64_t N = 0;
+      // 0 stays meaningful: "use the default worker count".
+      if (!NextValue(V) ||
+          !parseCliCount(Arg, V, 0, std::numeric_limits<unsigned>::max(), N))
         return 2;
-      Jobs = static_cast<unsigned>(std::atoi(V.c_str()));
+      Jobs = static_cast<unsigned>(N);
       BatchMode = true;
     } else if (Arg == "--deadline-ms") {
       std::string V;
-      if (!NextValue(V))
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, UINT64_MAX,
+                                          Budget.DeadlineMs))
         return 2;
-      Budget.DeadlineMs = std::strtoull(V.c_str(), nullptr, 10);
     } else if (Arg == "--max-instructions") {
       std::string V;
-      if (!NextValue(V))
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, UINT64_MAX,
+                                          Budget.MaxInstructions))
         return 2;
-      Budget.MaxInstructions = std::strtoull(V.c_str(), nullptr, 10);
     } else if (Arg == "--max-blocks") {
+      std::string V;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, UINT64_MAX,
+                                          Budget.MaxBlocks))
+        return 2;
+    } else if (Arg == "--cache") {
       std::string V;
       if (!NextValue(V))
         return 2;
-      Budget.MaxBlocks = std::strtoull(V.c_str(), nullptr, 10);
+      Expected<CacheMode> M = cacheModeFromName(V);
+      if (!M) {
+        std::cerr << "pirac: " << M.status().toString() << '\n';
+        return 2;
+      }
+      CacheModeFlag = *M;
+      CacheFlagSeen = true;
+    } else if (Arg == "--cache-dir") {
+      if (!NextValue(CacheDir))
+        return 2;
     } else if (Arg == "--no-degrade") {
       NoDegrade = true;
     } else if (Arg == "--fault-inject") {
@@ -238,6 +305,8 @@ int main(int argc, char **argv) {
   }
   if (Regs != 0)
     Machine.setNumPhysRegs(Regs);
+  if (!CacheDir.empty() && !CacheFlagSeen)
+    CacheModeFlag = CacheMode::On;
   if (Inputs.empty() && InputFailures.empty())
     Inputs.emplace_back("<sample>", SampleProgram);
   if (Inputs.size() + InputFailures.size() > 1)
@@ -269,11 +338,15 @@ int main(int argc, char **argv) {
   if (BatchMode) {
     if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
       telemetry::setEnabled(true);
+    std::optional<CompilationCache> Cache;
+    if (CacheModeFlag != CacheMode::Off)
+      Cache.emplace(CacheModeFlag, CacheDir);
     BatchOptions Opts;
     Opts.Strategy = Strategy;
     Opts.Jobs = Jobs;
     Opts.Budget = Budget;
     Opts.Degrade = !NoDegrade;
+    Opts.Cache = Cache ? &*Cache : nullptr;
     BatchResult BR = compileBatch(Batch, Machine, Opts);
     std::cout << "; batch of " << Batch.size() << " function(s), "
               << strategyName(Strategy) << " for " << Machine.name() << " ("
@@ -306,6 +379,20 @@ int main(int argc, char **argv) {
       std::cout << ", " << BR.Degraded << " degraded";
     std::cout << ", static cycles " << BR.TotalStaticCycles
               << ", dynamic cycles " << BR.TotalDynCycles << '\n';
+    if (Cache) {
+      CompilationCache::Stats CS = Cache->stats();
+      std::cout << "; cache (" << cacheModeName(Cache->mode()) << "): "
+                << (CS.MemoryHits + CS.DiskHits) << " hit(s) ("
+                << CS.MemoryHits << " memory, " << CS.DiskHits << " disk), "
+                << CS.Misses << " miss(es), " << CS.Inserts << " insert(s)";
+      if (CS.CorruptEntries != 0)
+        std::cout << ", " << CS.CorruptEntries << " corrupt";
+      if (CS.WriteFailures != 0)
+        std::cout << ", " << CS.WriteFailures << " write failure(s)";
+      if (CS.VerifyMismatches != 0)
+        std::cout << ", " << CS.VerifyMismatches << " VERIFY MISMATCH(ES)";
+      std::cout << '\n';
+    }
 
     bool ReportsOk = true;
     std::string ReportError;
@@ -316,7 +403,8 @@ int main(int argc, char **argv) {
     }
     if (!StatsOut.empty() &&
         !writeJsonFile(makeBatchStatsReport(BR, Batch, strategyName(Strategy),
-                                            Machine, InputFailures),
+                                            Machine, InputFailures,
+                                            Cache ? &*Cache : nullptr),
                        StatsOut, ReportError)) {
       std::cerr << "stats-out: " << ReportError << '\n';
       ReportsOk = false;
@@ -324,7 +412,8 @@ int main(int argc, char **argv) {
     if (TimePasses)
       telemetry::printTimerReport(std::cerr);
     return (BR.Succeeded == BR.Results.size() && InputFailures.empty() &&
-            ReportsOk)
+            ReportsOk &&
+            (!Cache || Cache->stats().VerifyMismatches == 0))
                ? 0
                : 1;
   }

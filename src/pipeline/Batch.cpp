@@ -8,6 +8,7 @@
 #include "pipeline/Batch.h"
 
 #include "machine/MachineModel.h"
+#include "pipeline/Cache.h"
 #include "pipeline/Report.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
@@ -164,7 +165,49 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
     // item itself is never mutated. The fault key is the input position,
     // so injected faults hit the same functions for any worker count.
     faultinject::ScopedKey Key(I);
+
+    // Cache lookup precedes the compile guard: a hit stands in for the
+    // entire guarded compile (it was inserted by one, and only clean
+    // non-degraded successes ever are). The key must be computed under
+    // the scoped fault key — armed faults are part of it.
+    CompilationCache *Cache = Opts.Cache;
+    std::string CacheKey;
+    if (Cache != nullptr && Cache->mode() != CacheMode::Off) {
+      CacheKey = computeCacheKey(Batch[I].Input, Machine, Opts);
+      std::string CachedSerialized;
+      std::optional<PipelineResult> Hit =
+          Cache->lookup(CacheKey, &CachedSerialized);
+      if (Hit) {
+        if (Cache->mode() == CacheMode::On) {
+          R.Results[I] = std::move(*Hit);
+          CompileOutcome O;
+          O.Requested = strategyName(Opts.Strategy);
+          O.Used = O.Requested;
+          R.Outcomes[I] = std::move(O);
+          return;
+        }
+        // Verify mode: recompile anyway and hold the entry to byte
+        // identity. The fresh result wins either way, so a poisoned
+        // cache can flag but never corrupt a verify run.
+        GuardedResult G =
+            compileFunctionGuarded(Batch[I].Input, Machine, Opts);
+        bool Matches =
+            G.Result.Success && !G.Outcome.Degraded &&
+            encodeCacheEntry(G.Result, CacheKey).toString(-1) ==
+                CachedSerialized;
+        if (!Matches)
+          Cache->noteVerifyMismatch();
+        R.Results[I] = std::move(G.Result);
+        R.Outcomes[I] = std::move(G.Outcome);
+        return;
+      }
+    }
+
     GuardedResult G = compileFunctionGuarded(Batch[I].Input, Machine, Opts);
+    // Never cache degraded or failed functions: they must re-walk the
+    // ladder (and re-surface their diagnostics) on every run.
+    if (!CacheKey.empty() && G.Result.Success && !G.Outcome.Degraded)
+      Cache->insert(CacheKey, G.Result);
     R.Results[I] = std::move(G.Result);
     R.Outcomes[I] = std::move(G.Outcome);
   };
@@ -226,7 +269,8 @@ static json::Value outcomeToJson(const CompileOutcome &O) {
 json::Value pira::makeBatchStatsReport(
     const BatchResult &R, const std::vector<BatchItem> &Batch,
     const std::string &Strategy, const MachineModel &Machine,
-    const std::vector<BatchFailure> &InputFailures) {
+    const std::vector<BatchFailure> &InputFailures,
+    const CompilationCache *Cache) {
   json::Value Root = json::Value::object();
   Root.set("schema", StatsSchemaName);
   Root.set("version", StatsSchemaVersion);
@@ -295,6 +339,8 @@ json::Value pira::makeBatchStatsReport(
     }
   Root.set("degradations", std::move(Degradations));
 
+  if (Cache != nullptr)
+    Root.set("cache", Cache->statsToJson());
   Root.set("counters", countersToJson());
   Root.set("timers", timersToJson());
   return Root;

@@ -33,6 +33,12 @@
 ///      that every input yields verifier-clean code unless even the
 ///      bottom rung fails.
 ///
+/// When BatchOptions::Cache is set, every item's content-addressed key
+/// is computed up front and looked up *before* the guard runs; a hit
+/// short-circuits compilation entirely (or, in Verify mode, recompiles
+/// and cross-checks byte identity), and only verifier-clean
+/// non-degraded successes are ever inserted. See pipeline/Cache.h.
+///
 /// A failed or degraded function never stops the batch; its outcome is
 /// recorded per-function and surfaced in the stats report's "failures"
 /// and "degradations" sections. Ladder decisions depend only on the
@@ -55,6 +61,7 @@
 namespace pira {
 
 class MachineModel;
+class CompilationCache;
 
 /// One unit of batch work: a named symbolic-form function.
 struct BatchItem {
@@ -88,6 +95,11 @@ struct BatchOptions {
   /// Walk the degradation ladder on failure (requested strategy →
   /// alloc-first → spill-all). Off means one attempt, report as-is.
   bool Degrade = true;
+  /// Content-addressed compilation cache (pipeline/Cache.h), consulted
+  /// before the compile guard and fed after verifier-clean non-degraded
+  /// successes. Null (the default) disables caching; non-owning, must
+  /// outlive the call. The cache's own mode picks On vs Verify.
+  CompilationCache *Cache = nullptr;
 };
 
 /// One failed ladder attempt: which rung, and why it failed.
@@ -163,14 +175,19 @@ BatchResult compileBatch(const std::vector<BatchItem> &Batch,
 /// batch aggregates, a "failures" array (every failed function plus the
 /// \p InputFailures that never compiled), a "degradations" array (every
 /// function rescued below its requested rung, with the per-rung
-/// diagnostics), counters, and timers. Everything except "timers" is
-/// byte-identical across worker counts; the worker count itself is
-/// deliberately not recorded so reports diff clean across --jobs values.
+/// diagnostics), a "cache" block when \p Cache is non-null (schema v3),
+/// counters, and timers. Everything except "timers" is byte-identical
+/// across worker counts; the worker count itself is deliberately not
+/// recorded so reports diff clean across --jobs values. (The "counters"
+/// and "cache" sections do vary between cold and warm cache runs — a
+/// hit legitimately skips the compile-phase counters — so warm-vs-cold
+/// report comparisons exclude "timers", "counters", and "cache".)
 json::Value makeBatchStatsReport(const BatchResult &R,
                                  const std::vector<BatchItem> &Batch,
                                  const std::string &Strategy,
                                  const MachineModel &Machine,
-                                 const std::vector<BatchFailure> &InputFailures = {});
+                                 const std::vector<BatchFailure> &InputFailures = {},
+                                 const CompilationCache *Cache = nullptr);
 
 } // namespace pira
 

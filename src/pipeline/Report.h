@@ -8,14 +8,14 @@
 /// \file
 /// The machine-readable side of the pipeline: serializes PipelineResult,
 /// the telemetry counter registry, and aggregated phase timers into one
-/// JSON document with a stable, versioned schema ("pira.stats", version
-/// 1). `pirac --stats-out` and the bench binaries emit this format so
+/// JSON document with a stable, versioned schema ("pira.stats"). `pirac
+/// --stats-out` and the bench binaries emit this format so
 /// the perf trajectory of the repo is diffable across PRs.
 ///
-/// Schema (version 2):
+/// Schema (version 3):
 ///
 ///   {
-///     "schema": "pira.stats", "version": 2,
+///     "schema": "pira.stats", "version": 3,
 ///     "strategy": "combined",            // when known
 ///     "machine": {"name": ..., "registers": N, "issue_width": W},
 ///     "pipeline": { ...every PipelineResult scalar field...,
@@ -27,10 +27,14 @@
 ///
 /// Batch reports (makeBatchStatsReport) replace "pipeline" with a
 /// "functions" array and add "batch" aggregates plus "failures" and
-/// "degradations" sections (the failure model; see DESIGN.md §8).
+/// "degradations" sections (the failure model; see DESIGN.md §8), and —
+/// when a compilation cache was live — a "cache" block: {"mode",
+/// "disk", "memory_hits", "disk_hits", "misses", "inserts",
+/// "corrupt_entries", "write_failures", "verify_mismatches",
+/// "hit_rate"} (pipeline/Cache.h).
 /// Version history: v2 added "diagnostic" per result and the batch
 /// "failures"/"degradations" sections and "failed"/"degraded"
-/// aggregates.
+/// aggregates; v3 added the batch "cache" block.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,7 +52,7 @@ class MachineModel;
 
 /// Schema constants; bump the version whenever a field changes meaning.
 inline constexpr const char *StatsSchemaName = "pira.stats";
-inline constexpr int StatsSchemaVersion = 2;
+inline constexpr int StatsSchemaVersion = 3;
 
 /// Serializes every scalar field of \p R (code and schedule bodies are
 /// deliberately omitted — they belong to the textual printers).

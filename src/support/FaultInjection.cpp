@@ -170,6 +170,22 @@ void pira::faultinject::maybeThrow(const char *Site) {
 
 uint64_t pira::faultinject::currentKey() { return ThreadFaultKey; }
 
+std::string pira::faultinject::currentSpec() {
+  HarnessState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  adoptEnvOnce(S);
+  EnvChecked.store(true, std::memory_order_release);
+  std::string Out;
+  for (const auto &[Name, N] : S.Sites) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Name;
+    Out += ':';
+    Out += std::to_string(N);
+  }
+  return Out;
+}
+
 ScopedKey::ScopedKey(uint64_t Key) : Prev(ThreadFaultKey) {
   ThreadFaultKey = Key;
 }

@@ -89,6 +89,13 @@ void maybeThrow(const char *Site);
 /// The current thread's fault key (0 unless a ScopedKey is live).
 uint64_t currentKey();
 
+/// Canonical "site:n[,site:n...]" rendering of the armed sites, in
+/// armed order; "" when disarmed. Adopts PIRA_FAULT first if nothing
+/// configured the harness yet, mirroring shouldFire. The compilation
+/// cache folds this into its keys so a fault-injected compile can never
+/// alias a clean one.
+std::string currentSpec();
+
 /// Sets the thread's fault key for one compilation; restores on exit.
 class ScopedKey {
 public:

@@ -8,12 +8,70 @@
 #include "support/Json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <system_error>
+
+#if !(defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L)
+#include <clocale>
+#include <cstdlib>
+#endif
 
 using namespace pira;
 using namespace pira::json;
+
+// Number round-trips must not depend on the global C locale: under a
+// comma-decimal locale (de_DE.UTF-8, ...) snprintf("%.17g") writes
+// "3,14" — invalid JSON that the parser then rejects — and std::stod
+// refuses the '.' spelling. std::to_chars / std::from_chars are
+// locale-independent by definition, and to_chars emits the *shortest*
+// string that parses back to the same double. Toolchains without
+// floating-point to_chars (pre-GCC-11 libstdc++) fall back to the old
+// printf/strtod pair with the locale's decimal point swapped by hand.
+
+namespace {
+
+/// Writes \p D into \p Buf (shortest round-trip form) and returns Buf.
+const char *formatDouble(double D, char (&Buf)[40]) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  auto [Ptr, Ec] = std::to_chars(Buf, Buf + sizeof(Buf) - 1, D);
+  (void)Ec; // 39 chars always fit the shortest form of a double
+  *Ptr = '\0';
+#else
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  const char *Point = std::localeconv()->decimal_point;
+  for (char *P = Buf; *P; ++P)
+    if (*P == *Point)
+      *P = '.';
+#endif
+  return Buf;
+}
+
+/// Parses the JSON number token \p Token as a double; false on overflow
+/// or (should-not-happen after tokenization) malformed input.
+bool parseDoubleToken(std::string_view Token, double &Out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  auto [Ptr, Ec] = std::from_chars(Token.data(), Token.data() + Token.size(),
+                                   Out);
+  return Ec == std::errc() && Ptr == Token.data() + Token.size();
+#else
+  // strtod honors the locale's decimal point, so present the token in
+  // that spelling.
+  std::string Localized(Token);
+  const char *Point = std::localeconv()->decimal_point;
+  for (char &C : Localized)
+    if (C == '.')
+      C = *Point;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtod(Localized.c_str(), &End);
+  return errno == 0 && End == Localized.c_str() + Localized.size();
+#endif
+}
+
+} // namespace
 
 void json::writeEscaped(std::ostream &OS, const std::string &S) {
   OS << '"';
@@ -66,9 +124,8 @@ void Value::write(std::ostream &OS, int Indent) const {
     return;
   case Kind::Double:
     if (std::isfinite(DoubleVal)) {
-      char Buf[32];
-      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleVal);
-      OS << Buf;
+      char Buf[40];
+      OS << formatDouble(DoubleVal, Buf);
     } else {
       OS << "null"; // JSON has no Inf/NaN; degrade rather than corrupt
     }
@@ -315,16 +372,21 @@ private:
              std::isdigit(static_cast<unsigned char>(Text[Pos])))
         ++Pos;
     }
-    std::string Token = Text.substr(Start, Pos - Start);
+    std::string_view Token(Text.data() + Start, Pos - Start);
     if (Token.empty() || Token == "-")
       return fail("malformed number");
-    try {
-      if (IsDouble)
-        Out = Value(std::stod(Token));
-      else
-        Out = Value(static_cast<int64_t>(std::stoll(Token)));
-    } catch (...) {
-      return fail("number out of range");
+    if (IsDouble) {
+      double D = 0.0;
+      if (!parseDoubleToken(Token, D))
+        return fail("number out of range");
+      Out = Value(D);
+    } else {
+      int64_t I = 0;
+      auto [Ptr, Ec] =
+          std::from_chars(Token.data(), Token.data() + Token.size(), I);
+      if (Ec != std::errc() || Ptr != Token.data() + Token.size())
+        return fail("number out of range");
+      Out = Value(I);
     }
     return true;
   }

@@ -10,7 +10,9 @@
 /// type with insertion-ordered objects (so reports are byte-stable run to
 /// run), a pretty-printing writer, and a strict recursive-descent parser.
 /// Integers are kept distinct from doubles so counters survive a
-/// write/parse round trip exactly.
+/// write/parse round trip exactly, and number formatting/parsing is
+/// locale-independent (std::to_chars / std::from_chars): reports written
+/// under a comma-decimal locale still read back everywhere.
 ///
 //===----------------------------------------------------------------------===//
 

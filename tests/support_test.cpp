@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -538,4 +539,67 @@ TEST(JsonEdgeTest, IntegerOverflowIsAnErrorNotSilentWrap) {
             std::string::npos);
   EXPECT_NE(parseErr("-9223372036854775809").find("number out of range"),
             std::string::npos);
+}
+
+namespace {
+
+/// Switches LC_NUMERIC to a comma-decimal locale for one test and
+/// restores the previous locale on destruction. Valid() is false when no
+/// such locale is installed (common in minimal containers); tests skip
+/// then, and CI installs de_DE.UTF-8 so the path actually runs there.
+class ScopedCommaLocale {
+public:
+  ScopedCommaLocale() {
+    const char *Prev = std::setlocale(LC_NUMERIC, nullptr);
+    Saved = Prev ? Prev : "C";
+    for (const char *Name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                             "fr_FR.utf8", "de_DE", "fr_FR"})
+      if (std::setlocale(LC_NUMERIC, Name)) {
+        // Only count it if the locale really uses a comma decimal point.
+        if (*std::localeconv()->decimal_point == ',') {
+          Active = true;
+          return;
+        }
+        std::setlocale(LC_NUMERIC, Saved.c_str());
+      }
+  }
+  ~ScopedCommaLocale() {
+    if (Active)
+      std::setlocale(LC_NUMERIC, Saved.c_str());
+  }
+  bool valid() const { return Active; }
+
+private:
+  std::string Saved;
+  bool Active = false;
+};
+
+} // namespace
+
+TEST(JsonLocaleTest, DoubleRoundTripUnderCommaDecimalLocale) {
+  // Regression test: number formatting went through snprintf("%g") and
+  // parsing through std::stod, both of which honor LC_NUMERIC. Under a
+  // comma-decimal locale that wrote "0,5" (invalid JSON) and failed to
+  // read "0.5". The writer/parser now use std::to_chars/std::from_chars,
+  // which are locale-independent by construction.
+  ScopedCommaLocale Locale;
+  if (!Locale.valid())
+    GTEST_SKIP() << "no comma-decimal locale installed";
+
+  for (double D : {0.5, -3.25, 1e-9, 6.02e23, 0.1}) {
+    json::Value V(D);
+    std::string Text = V.toString();
+    // The serialized form must use '.' regardless of locale, and must
+    // not contain a comma (which would also break array separators).
+    EXPECT_EQ(Text.find(','), std::string::npos) << Text;
+    json::Value Back = parseOk(Text);
+    ASSERT_TRUE(Back.isNumber()) << Text;
+    EXPECT_EQ(Back.asDouble(), D) << Text;
+  }
+
+  // A full report-shaped document round-trips too: parsing locale-neutral
+  // input must not be confused by the ambient locale either.
+  json::Value Doc = parseOk(R"({"hit_rate": 0.75, "xs": [1.5, 2.25]})");
+  EXPECT_EQ(Doc.find("hit_rate")->asDouble(), 0.75);
+  EXPECT_EQ(Doc.find("xs")->elements()[1].asDouble(), 2.25);
 }
