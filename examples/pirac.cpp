@@ -32,6 +32,9 @@
 //          [--deadline-ms N] [--max-instructions N] [--max-blocks N]
 //          [--no-degrade] [--fault-inject site:n[,site:n...]]
 //          [--cache off|on|verify] [--cache-dir DIR]
+//          [--isolate] [--retries N] [--retry-backoff-ms N]
+//          [--child-timeout-ms N] [--child-mem-mb N]
+//          [--journal FILE] [--resume]
 //          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
 //          [--time-passes]
@@ -47,6 +50,29 @@
 // byte identity; any mismatch makes the run exit nonzero. Caching
 // applies in batch mode (several inputs, or --jobs).
 //
+// --isolate compiles every ladder rung in a sandboxed child process
+// (`pirac --worker`, an internal mode that reads one job document from
+// stdin): a crash, OOM kill, or hard hang in one function becomes a
+// structured ChildCrashed / ChildKilled / ChildTimeout diagnostic and
+// the batch keeps going. --retries N retries spawn failures and killed
+// children with deterministic exponential backoff; --child-timeout-ms
+// arms a per-child wall-clock SIGKILL watchdog; --child-mem-mb caps the
+// child's address space (leave it off under sanitizers).
+//
+// --journal FILE records every finished function in a crash-safe
+// append-only journal; --resume (requires --journal) replays recorded
+// positions instead of recompiling, so a batch killed partway — even
+// with kill -9 — reproduces the uninterrupted run's report (modulo
+// "timers"/"counters") on the second invocation.
+//
+// Exit codes are a stable contract: 0 = everything compiled and
+// verified clean; 1 = at least one input or compile/verify failure
+// (including cache-verify mismatches); 2 = usage errors (bad flag,
+// missing value, --resume without --journal); 3 = internal errors — an
+// unusable or mismatched journal, journal append failures, a report
+// that could not be written, or a malformed --worker job. 3 takes
+// precedence over 1 when both apply.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Webs.h"
@@ -61,9 +87,12 @@
 #include "machine/MachineModel.h"
 #include "pipeline/Batch.h"
 #include "pipeline/Cache.h"
+#include "pipeline/Journal.h"
 #include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
+#include "pipeline/Worker.h"
 #include "support/FaultInjection.h"
+#include "support/Subprocess.h"
 #include "support/Telemetry.h"
 
 #include <charconv>
@@ -134,6 +163,12 @@ static bool parseCliCount(const std::string &Flag, const std::string &Text,
 }
 
 int main(int argc, char **argv) {
+  // The self-exec worker mode comes first: the batch driver spawns
+  // `pirac --worker` with one job document on stdin, and nothing else
+  // on the command line applies.
+  if (argc >= 2 && std::string(argv[1]) == "--worker")
+    return runWorkerMode(std::cin, std::cout, std::cerr);
+
   // (name, source) per input; empty after flag parsing means the sample.
   std::vector<std::pair<std::string, std::string>> Inputs;
   StrategyKind Strategy = StrategyKind::Combined;
@@ -150,6 +185,13 @@ int main(int argc, char **argv) {
   CacheMode CacheModeFlag = CacheMode::Off;
   bool CacheFlagSeen = false;
   std::string CacheDir;
+  bool Isolate = false;
+  uint64_t Retries = 0;
+  uint64_t RetryBackoffMs = 10;
+  uint64_t ChildTimeoutMs = 0;
+  uint64_t ChildMemMB = 0;
+  std::string JournalPath;
+  bool Resume = false;
 
   // Inputs that never reach compilation: unreadable files, parse and
   // verify failures. They are reported per file, carried into the stats
@@ -263,6 +305,36 @@ int main(int argc, char **argv) {
     } else if (Arg == "--cache-dir") {
       if (!NextValue(CacheDir))
         return 2;
+    } else if (Arg == "--isolate") {
+      Isolate = true;
+      BatchMode = true;
+    } else if (Arg == "--retries") {
+      std::string V;
+      if (!NextValue(V) ||
+          !parseCliCount(Arg, V, 0, std::numeric_limits<unsigned>::max(),
+                         Retries))
+        return 2;
+    } else if (Arg == "--retry-backoff-ms") {
+      std::string V;
+      // Capped so the deterministic exponential backoff cannot be armed
+      // into an effectively infinite sleep.
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 60000, RetryBackoffMs))
+        return 2;
+    } else if (Arg == "--child-timeout-ms") {
+      std::string V;
+      if (!NextValue(V) ||
+          !parseCliCount(Arg, V, 0, UINT64_MAX, ChildTimeoutMs))
+        return 2;
+    } else if (Arg == "--child-mem-mb") {
+      std::string V;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, UINT64_MAX, ChildMemMB))
+        return 2;
+    } else if (Arg == "--journal") {
+      if (!NextValue(JournalPath))
+        return 2;
+      BatchMode = true;
+    } else if (Arg == "--resume") {
+      Resume = true;
     } else if (Arg == "--no-degrade") {
       NoDegrade = true;
     } else if (Arg == "--fault-inject") {
@@ -288,6 +360,12 @@ int main(int argc, char **argv) {
       std::ostringstream SS;
       SS << std::cin.rdbuf();
       Inputs.emplace_back("<stdin>", SS.str());
+    } else if (Arg.rfind("--", 0) == 0) {
+      // A flag we don't know must not be silently treated as an input
+      // path; that would turn a typo into a "cannot open" compile
+      // failure (exit 1) instead of a usage error (exit 2).
+      std::cerr << "pirac: unknown option '" << Arg << "'\n";
+      return 2;
     } else {
       std::ifstream In(Arg);
       if (!In) {
@@ -307,6 +385,10 @@ int main(int argc, char **argv) {
     Machine.setNumPhysRegs(Regs);
   if (!CacheDir.empty() && !CacheFlagSeen)
     CacheModeFlag = CacheMode::On;
+  if (Resume && JournalPath.empty()) {
+    std::cerr << "pirac: --resume requires --journal FILE\n";
+    return 2;
+  }
   if (Inputs.empty() && InputFailures.empty())
     Inputs.emplace_back("<sample>", SampleProgram);
   if (Inputs.size() + InputFailures.size() > 1)
@@ -347,6 +429,34 @@ int main(int argc, char **argv) {
     Opts.Budget = Budget;
     Opts.Degrade = !NoDegrade;
     Opts.Cache = Cache ? &*Cache : nullptr;
+    if (Isolate) {
+      Opts.Isolate = true;
+      // Self-exec: the worker is this very binary. /proc/self/exe is
+      // the robust answer (argv[0] may be a bare name found via PATH);
+      // argv[0] is the fallback on filesystems without /proc.
+      Opts.WorkerExe = currentExecutablePath();
+      if (Opts.WorkerExe.empty())
+        Opts.WorkerExe = argv[0];
+      Opts.MaxRetries = static_cast<unsigned>(Retries);
+      Opts.RetryBackoffMs = static_cast<unsigned>(RetryBackoffMs);
+      Opts.ChildTimeoutMs = ChildTimeoutMs;
+      Opts.ChildMemLimitMB = ChildMemMB;
+    }
+
+    // The journal binds to the exact batch configuration via a digest;
+    // opening it after every option is final keeps resume honest.
+    BatchJournal Journal;
+    if (!JournalPath.empty()) {
+      Status JS = Journal.open(JournalPath,
+                               computeJournalDigest(Batch, Machine, Opts),
+                               Batch.size(), Resume);
+      if (!JS.ok()) {
+        std::cerr << "pirac: " << JS.toString() << '\n';
+        return 3;
+      }
+      Opts.Journal = &Journal;
+    }
+
     BatchResult BR = compileBatch(Batch, Machine, Opts);
     std::cout << "; batch of " << Batch.size() << " function(s), "
               << strategyName(Strategy) << " for " << Machine.name() << " ("
@@ -379,6 +489,17 @@ int main(int argc, char **argv) {
       std::cout << ", " << BR.Degraded << " degraded";
     std::cout << ", static cycles " << BR.TotalStaticCycles
               << ", dynamic cycles " << BR.TotalDynCycles << '\n';
+    if (Isolate)
+      std::cout << "; isolation: " << BR.Isolated << " sandboxed, "
+                << BR.Crashes << " crash(es), " << BR.Timeouts
+                << " timeout(s), " << BR.Retries << " retry(ies)\n";
+    if (Opts.Journal != nullptr) {
+      std::cout << "; journal: " << BR.Resumed << " resumed";
+      if (Journal.appendFailures() != 0)
+        std::cout << ", " << Journal.appendFailures()
+                  << " APPEND FAILURE(S)";
+      std::cout << '\n';
+    }
     if (Cache) {
       CompilationCache::Stats CS = Cache->stats();
       std::cout << "; cache (" << cacheModeName(Cache->mode()) << "): "
@@ -411,8 +532,12 @@ int main(int argc, char **argv) {
     }
     if (TimePasses)
       telemetry::printTimerReport(std::cerr);
+    // Exit taxonomy (see the usage comment): internal errors — reports
+    // that could not be written, journal records that could not land —
+    // take precedence over compile failures.
+    if (!ReportsOk || Journal.appendFailures() != 0)
+      return 3;
     return (BR.Succeeded == BR.Results.size() && InputFailures.empty() &&
-            ReportsOk &&
             (!Cache || Cache->stats().VerifyMismatches == 0))
                ? 0
                : 1;
@@ -499,8 +624,7 @@ int main(int argc, char **argv) {
   if (!R.Success) {
     std::cerr << "compilation failed: "
               << (R.Diag.ok() ? R.Error : R.Diag.toString()) << '\n';
-    EmitReports();
-    return 1;
+    return EmitReports() ? 1 : 3;
   }
 
   printFunction(R.Final, std::cout);
@@ -523,5 +647,5 @@ int main(int argc, char **argv) {
             << "\n; dynamic cycles:   " << R.DynCycles
             << "\n; semantics check:  "
             << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
-  return EmitReports() ? 0 : 1;
+  return EmitReports() ? 0 : 3;
 }

@@ -7,14 +7,22 @@
 
 #include "pipeline/Batch.h"
 
+#include "ir/Printer.h"
+#include "machine/MachineConfig.h"
 #include "machine/MachineModel.h"
 #include "pipeline/Cache.h"
+#include "pipeline/Journal.h"
 #include "pipeline/Report.h"
+#include "pipeline/Worker.h"
 #include "support/FaultInjection.h"
+#include "support/Subprocess.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <thread>
 
 using namespace pira;
 
@@ -27,6 +35,17 @@ PIRA_STAT(NumDegradedFunctions,
 PIRA_STAT(NumFailedFunctions, "Functions that failed every ladder rung");
 PIRA_STAT(NumCapturedTaskExceptions,
           "Phase exceptions captured by the compile guard");
+PIRA_STAT(NumIsolatedCompiles, "Functions compiled in sandboxed children");
+PIRA_STAT(NumChildCrashes, "Sandboxed children that died on a crash signal");
+PIRA_STAT(NumChildTimeouts,
+          "Sandboxed children killed for exceeding their wall/CPU budget");
+PIRA_STAT(NumChildKills,
+          "Sandboxed children killed by other signals (OOM kill, external)");
+PIRA_STAT(NumChildRetries, "Sandboxed child attempts beyond the first");
+PIRA_STAT(NumWorkerProtocolErrors,
+          "Sandboxed children that exited without a valid result document");
+PIRA_STAT(NumJournalCorruptReplays,
+          "Journal records that failed to decode (recompiled instead)");
 
 /// Marks \p R failed with both the legacy string and the structured
 /// diagnostic (the Strategies-side twin is file-static).
@@ -74,6 +93,10 @@ GuardedResult pira::compileFunctionGuarded(const Function &Input,
                                            const BatchOptions &Opts) {
   PIRA_TIME_SCOPE("batch/guarded-compile");
   ++NumGuardedCompiles;
+  // Hard-fault sites (crash.*) fire before the exception net on purpose:
+  // they model the failures no in-process guard can catch — the whole
+  // reason the batch driver grows a process sandbox.
+  faultinject::maybeHardFault();
   GuardedResult Out;
   Out.Outcome.Requested = strategyName(Opts.Strategy);
   std::string FnFrame = "function @" + Input.name();
@@ -148,6 +171,236 @@ GuardedResult pira::compileFunctionGuarded(const Function &Input,
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Out-of-process compilation (BatchOptions::Isolate)
+//===----------------------------------------------------------------------===//
+
+/// Serializes the child-process record; appears per-function in the
+/// stats report and in journal records.
+static json::Value isolationToJson(const IsolationOutcome &Iso) {
+  json::Value Out = json::Value::object();
+  Out.set("isolated", Iso.Isolated);
+  Out.set("spawns", Iso.Spawns);
+  Out.set("retries", Iso.Retries);
+  Out.set("crashes", Iso.Crashes);
+  Out.set("timeouts", Iso.Timeouts);
+  Out.set("exit", Iso.ExitCode);
+  Out.set("signal", Iso.Signal);
+  Out.set("timed_out", Iso.TimedOut);
+  return Out;
+}
+
+/// Lenient inverse, for journal replay. Missing members keep defaults so
+/// an older journal still replays.
+static void isolationFromJson(const json::Value &Doc, IsolationOutcome &Iso) {
+  auto U = [&Doc](const char *Name, unsigned &Out) {
+    if (const json::Value *V = Doc.find(Name); V != nullptr && V->isInt())
+      Out = static_cast<unsigned>(V->asInt());
+  };
+  if (const json::Value *V = Doc.find("isolated");
+      V != nullptr && V->isBool())
+    Iso.Isolated = V->asBool();
+  U("spawns", Iso.Spawns);
+  U("retries", Iso.Retries);
+  U("crashes", Iso.Crashes);
+  U("timeouts", Iso.Timeouts);
+  if (const json::Value *V = Doc.find("exit"); V != nullptr && V->isInt())
+    Iso.ExitCode = static_cast<int>(V->asInt());
+  if (const json::Value *V = Doc.find("signal"); V != nullptr && V->isInt())
+    Iso.Signal = static_cast<int>(V->asInt());
+  if (const json::Value *V = Doc.find("timed_out");
+      V != nullptr && V->isBool())
+    Iso.TimedOut = V->asBool();
+}
+
+/// Classifies how a reaped child died. Crash signals become
+/// ChildCrashed; the kernel's CPU-rlimit signal maps to ChildTimeout
+/// like the parent's own watchdog kill; everything else (the OOM
+/// killer's SIGKILL, an external kill) is ChildKilled — the one class
+/// worth retrying, since the cause may be transient.
+static ErrorCode classifyChildSignal(int Signal) {
+  switch (Signal) {
+  case SIGSEGV:
+  case SIGABRT:
+  case SIGBUS:
+  case SIGILL:
+  case SIGFPE:
+  case SIGTRAP:
+    return ErrorCode::ChildCrashed;
+  case SIGXCPU:
+    return ErrorCode::ChildTimeout;
+  default:
+    return ErrorCode::ChildKilled;
+  }
+}
+
+/// compileFunctionGuarded's out-of-process twin: the parent walks the
+/// same degradation ladder, but every rung runs in a sandboxed child
+/// (`WorkerExe --worker`, Degrade off) so crashes, OOM kills, and hard
+/// hangs in one rung surface as structured diagnostics and the next
+/// rung still gets its chance. Spawn failures and ChildKilled retry up
+/// to Opts.MaxRetries times with deterministic backoff; ChildTimeout is
+/// fatal to the ladder (a hang would hang again), mirroring how the
+/// in-process ladder stops on DeadlineExceeded.
+static GuardedResult compileFunctionIsolated(const Function &Input,
+                                             const std::string &MachineText,
+                                             const BatchOptions &Opts) {
+  PIRA_TIME_SCOPE("batch/isolated-compile");
+  ++NumIsolatedCompiles;
+  GuardedResult Out;
+  IsolationOutcome &Iso = Out.Outcome.Isolation;
+  Iso.Isolated = true;
+  Out.Outcome.Requested = strategyName(Opts.Strategy);
+  std::string FnFrame = "function @" + Input.name();
+
+  std::string IRText = functionToString(Input);
+  std::string FaultSpec = faultinject::currentSpec();
+  uint64_t FaultKey = faultinject::currentKey();
+
+  std::vector<StrategyKind> Rungs = {Opts.Strategy};
+  if (Opts.Degrade) {
+    if (Opts.Strategy != StrategyKind::AllocFirst &&
+        Opts.Strategy != StrategyKind::SpillAll)
+      Rungs.push_back(StrategyKind::AllocFirst);
+    if (Opts.Strategy != StrategyKind::SpillAll)
+      Rungs.push_back(StrategyKind::SpillAll);
+  }
+
+  for (unsigned RungIdx = 0; RungIdx != Rungs.size(); ++RungIdx) {
+    std::string RungName = strategyName(Rungs[RungIdx]);
+
+    // The child compiles exactly this rung: ladder policy stays in the
+    // parent, so a rung that crashes the child still falls through to
+    // the next rung.
+    BatchOptions ChildOpts = Opts;
+    ChildOpts.Strategy = Rungs[RungIdx];
+    ChildOpts.Degrade = false;
+    ChildOpts.Isolate = false;
+    ChildOpts.Jobs = 1;
+    ChildOpts.Cache = nullptr;
+    ChildOpts.Journal = nullptr;
+    std::string Job =
+        encodeWorkerJob(IRText, MachineText, ChildOpts, FaultSpec, FaultKey)
+            .toString(-1) +
+        "\n";
+
+    GuardedResult Child;
+    bool GotResult = false;
+    Status RungDiag;
+    for (unsigned Attempt = 0;; ++Attempt) {
+      if (Attempt != 0) {
+        ++Iso.Retries;
+        ++NumChildRetries;
+        // Deterministic exponential backoff; no jitter, no clock reads.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<uint64_t>(Opts.RetryBackoffMs) << (Attempt - 1)));
+      }
+      ++Iso.Spawns;
+      SubprocessOptions SP;
+      SP.Argv = {Opts.WorkerExe, "--worker"};
+      SP.Input = Job;
+      SP.TimeoutMs = Opts.ChildTimeoutMs;
+      SP.MemoryLimitMB = Opts.ChildMemLimitMB;
+      Expected<SubprocessResult> SR = runSubprocess(SP);
+
+      bool Retryable = false;
+      if (!SR) {
+        // Spawn-level failure (fork/pipe/exec): nothing ran, so a retry
+        // is always safe and the cause (fd or pid pressure) transient.
+        RungDiag = SR.status();
+        RungDiag.addContext("spawning " + Opts.WorkerExe);
+        Retryable = true;
+      } else {
+        Iso.ExitCode = SR->ExitCode;
+        Iso.Signal = SR->Signal;
+        Iso.TimedOut = SR->TimedOut;
+        if (SR->TimedOut) {
+          ++Iso.Timeouts;
+          ++NumChildTimeouts;
+          RungDiag = Status::error(
+              ErrorCode::ChildTimeout, "isolate",
+              "worker killed after exceeding its wall-clock budget of " +
+                  std::to_string(Opts.ChildTimeoutMs) + " ms");
+        } else if (SR->Signal != 0) {
+          ErrorCode Code = classifyChildSignal(SR->Signal);
+          std::string Msg = "worker died on signal " +
+                            std::to_string(SR->Signal) + " (" +
+                            signalName(SR->Signal) + ")";
+          if (Code == ErrorCode::ChildCrashed) {
+            ++Iso.Crashes;
+            ++NumChildCrashes;
+          } else if (Code == ErrorCode::ChildTimeout) {
+            ++Iso.Timeouts;
+            ++NumChildTimeouts;
+            Msg += " [CPU rlimit]";
+          } else {
+            ++NumChildKills;
+            Retryable = true;
+          }
+          RungDiag = Status::error(Code, "isolate", std::move(Msg));
+        } else {
+          // Child exited on its own; a valid result document is the
+          // only acceptable outcome, exit status notwithstanding.
+          json::Value Doc;
+          std::string Error;
+          Expected<GuardedResult> Decoded =
+              json::parse(SR->Stdout, Doc, Error)
+                  ? decodeWorkerResult(Doc)
+                  : Expected<GuardedResult>(Status::error(
+                        ErrorCode::Internal, "isolate",
+                        "worker wrote no parsable result document (" +
+                            Error + ")"));
+          if (Decoded) {
+            Child = Decoded.take();
+            GotResult = true;
+          } else {
+            ++NumWorkerProtocolErrors;
+            RungDiag = Decoded.status();
+            if (SR->ExitCode != 0)
+              RungDiag.addContext("worker exit code " +
+                                  std::to_string(SR->ExitCode));
+          }
+        }
+      }
+      if (GotResult || !Retryable || Attempt >= Opts.MaxRetries)
+        break;
+    }
+
+    Out.Outcome.Used = RungName;
+    Out.Outcome.Rung = RungIdx;
+    if (GotResult) {
+      if (Child.Result.Success) {
+        Out.Outcome.Degraded = RungIdx != 0;
+        if (Out.Outcome.Degraded)
+          ++NumDegradedFunctions;
+        Out.Result = std::move(Child.Result);
+        return Out;
+      }
+      // Clean child, failed compile: the child's diagnostic already
+      // carries its rung and function context. Same fatal classes as
+      // the in-process ladder.
+      bool Fatal = Child.Result.Diag.code() == ErrorCode::DeadlineExceeded ||
+                   Child.Result.Diag.code() == ErrorCode::ResourceExhausted;
+      Out.Outcome.FailedAttempts.push_back({RungName, Child.Result.Diag});
+      Out.Result = std::move(Child.Result);
+      if (Fatal)
+        break;
+      continue;
+    }
+
+    RungDiag.addContext("rung " + RungName);
+    RungDiag.addContext(FnFrame);
+    Out.Outcome.FailedAttempts.push_back({RungName, RungDiag});
+    failResult(Out.Result, RungDiag);
+    // A hung child would hang again from the same input; crashes and
+    // kills may be rung-specific, so those walk on down the ladder.
+    if (Out.Result.Diag.code() == ErrorCode::ChildTimeout)
+      break;
+  }
+  ++NumFailedFunctions;
+  return Out;
+}
+
 BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
                                const MachineModel &Machine,
                                const BatchOptions &Opts) {
@@ -159,12 +412,66 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
   R.Results.resize(Batch.size());
   R.Outcomes.resize(Batch.size());
 
+  // Isolation needs the printed machine description in every job
+  // document; print it once, outside the workers.
+  bool UseIsolation = Opts.Isolate && !Opts.WorkerExe.empty();
+  std::string MachineText =
+      UseIsolation ? machineModelToString(Machine) : std::string();
+
+  // Compiles item \p I in process or in a sandboxed child.
+  auto Compile = [&](unsigned I) {
+    return UseIsolation
+               ? compileFunctionIsolated(Batch[I].Input, MachineText, Opts)
+               : compileFunctionGuarded(Batch[I].Input, Machine, Opts);
+  };
+
+  // Lands a finished item: journals it (when journaling), then moves it
+  // into its slots. The journal write happens before the slots are
+  // filled so a crash between the two re-runs the function rather than
+  // losing it.
+  auto Land = [&](unsigned I, GuardedResult G) {
+    if (Opts.Journal != nullptr) {
+      json::Value Iso;
+      bool HasIso = G.Outcome.Isolation.Isolated;
+      if (HasIso)
+        Iso = isolationToJson(G.Outcome.Isolation);
+      // Append failures are tallied inside the journal (the driver
+      // surfaces them as an exit-code-3 condition); the batch itself
+      // keeps going — a broken journal must not break the compile.
+      (void)Opts.Journal->append(I, Batch[I].Name, encodeWorkerResult(G),
+                                 HasIso ? &Iso : nullptr);
+    }
+    R.Results[I] = std::move(G.Result);
+    R.Outcomes[I] = std::move(G.Outcome);
+  };
+
   auto CompileOne = [&](unsigned I) {
     // Each slot is written by exactly one worker; the MachineModel and
     // the inputs are read-only. runStrategy copies the function, so the
     // item itself is never mutated. The fault key is the input position,
     // so injected faults hit the same functions for any worker count.
     faultinject::ScopedKey Key(I);
+
+    // Journal replay precedes everything: a position that finished in a
+    // previous run is never recompiled (and never re-appended). The
+    // decoded record restores result, ladder, and isolation fields, so
+    // reports stay byte-identical modulo timers and counters.
+    if (Opts.Journal != nullptr && Opts.Journal->has(I)) {
+      Expected<GuardedResult> Replayed =
+          decodeWorkerResult(*Opts.Journal->resultFor(I));
+      if (Replayed) {
+        GuardedResult G = Replayed.take();
+        G.Outcome.Resumed = true;
+        if (const json::Value *Iso = Opts.Journal->isolationFor(I))
+          isolationFromJson(*Iso, G.Outcome.Isolation);
+        R.Results[I] = std::move(G.Result);
+        R.Outcomes[I] = std::move(G.Outcome);
+        return;
+      }
+      // An undecodable record (a journal from a newer build, say) is
+      // not fatal: recompile the function and keep going.
+      ++NumJournalCorruptReplays;
+    }
 
     // Cache lookup precedes the compile guard: a hit stands in for the
     // entire guarded compile (it was inserted by one, and only clean
@@ -179,37 +486,34 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
           Cache->lookup(CacheKey, &CachedSerialized);
       if (Hit) {
         if (Cache->mode() == CacheMode::On) {
-          R.Results[I] = std::move(*Hit);
-          CompileOutcome O;
-          O.Requested = strategyName(Opts.Strategy);
-          O.Used = O.Requested;
-          R.Outcomes[I] = std::move(O);
+          GuardedResult G;
+          G.Result = std::move(*Hit);
+          G.Outcome.Requested = strategyName(Opts.Strategy);
+          G.Outcome.Used = G.Outcome.Requested;
+          Land(I, std::move(G));
           return;
         }
         // Verify mode: recompile anyway and hold the entry to byte
         // identity. The fresh result wins either way, so a poisoned
         // cache can flag but never corrupt a verify run.
-        GuardedResult G =
-            compileFunctionGuarded(Batch[I].Input, Machine, Opts);
+        GuardedResult G = Compile(I);
         bool Matches =
             G.Result.Success && !G.Outcome.Degraded &&
             encodeCacheEntry(G.Result, CacheKey).toString(-1) ==
                 CachedSerialized;
         if (!Matches)
           Cache->noteVerifyMismatch();
-        R.Results[I] = std::move(G.Result);
-        R.Outcomes[I] = std::move(G.Outcome);
+        Land(I, std::move(G));
         return;
       }
     }
 
-    GuardedResult G = compileFunctionGuarded(Batch[I].Input, Machine, Opts);
+    GuardedResult G = Compile(I);
     // Never cache degraded or failed functions: they must re-walk the
     // ladder (and re-surface their diagnostics) on every run.
     if (!CacheKey.empty() && G.Result.Success && !G.Outcome.Degraded)
       Cache->insert(CacheKey, G.Result);
-    R.Results[I] = std::move(G.Result);
-    R.Outcomes[I] = std::move(G.Outcome);
+    Land(I, std::move(G));
   };
 
   unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobCount() : Opts.Jobs;
@@ -230,6 +534,14 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
   // scheduling.
   for (size_t I = 0; I != R.Results.size(); ++I) {
     const PipelineResult &P = R.Results[I];
+    const IsolationOutcome &Iso = R.Outcomes[I].Isolation;
+    if (Iso.Isolated)
+      ++R.Isolated;
+    R.Crashes += Iso.Crashes;
+    R.Timeouts += Iso.Timeouts;
+    R.Retries += Iso.Retries;
+    if (R.Outcomes[I].Resumed)
+      ++R.Resumed;
     if (!P.Success) {
       ++R.Failed;
       continue;
@@ -290,6 +602,10 @@ json::Value pira::makeBatchStatsReport(
     if (HaveOutcomes && (R.Outcomes[I].Rung != 0 ||
                          !R.Outcomes[I].FailedAttempts.empty()))
       One.set("degradation", outcomeToJson(R.Outcomes[I]));
+    // Schema v4: the child-process record, for isolated functions only.
+    // Resumed-ness is deliberately absent (see CompileOutcome::Resumed).
+    if (HaveOutcomes && R.Outcomes[I].Isolation.Isolated)
+      One.set("isolation", isolationToJson(R.Outcomes[I].Isolation));
     Functions.push(std::move(One));
   }
   Root.set("functions", std::move(Functions));
@@ -299,6 +615,13 @@ json::Value pira::makeBatchStatsReport(
   Agg.set("succeeded", R.Succeeded);
   Agg.set("failed", R.Failed + static_cast<unsigned>(InputFailures.size()));
   Agg.set("degraded", R.Degraded);
+  // Schema v4 isolation tallies. All deterministic — the resumed count
+  // is not among them (counters-only), so a resumed run's report is
+  // byte-identical to the uninterrupted run's.
+  Agg.set("isolated", R.Isolated);
+  Agg.set("crashes", R.Crashes);
+  Agg.set("timeouts", R.Timeouts);
+  Agg.set("retries", R.Retries);
   Agg.set("max_registers_used", R.TotalRegistersUsed);
   Agg.set("spilled_webs", R.TotalSpilledWebs);
   Agg.set("spill_instructions", R.TotalSpillInstructions);

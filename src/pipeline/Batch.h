@@ -47,6 +47,16 @@
 /// worker-count determinism guarantee. Arming DeadlineMs trades that
 /// guarantee for overrun protection — expiry depends on machine load.
 ///
+/// Process isolation (BatchOptions::Isolate): each ladder rung runs in a
+/// sandboxed child process (pirac --worker, see pipeline/Worker.h and
+/// support/Subprocess.h) so a crash, OOM kill, or hard hang in one
+/// function becomes a structured ChildCrashed / ChildKilled /
+/// ChildTimeout diagnostic instead of taking down the batch driver.
+/// Spawn-level failures and ChildKilled retry up to MaxRetries times
+/// with a deterministic backoff. When BatchOptions::Journal is set,
+/// every finished function is appended to a crash-safe on-disk journal,
+/// and a resumed run replays journal records instead of recompiling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_PIPELINE_BATCH_H
@@ -62,6 +72,7 @@ namespace pira {
 
 class MachineModel;
 class CompilationCache;
+class BatchJournal;
 
 /// One unit of batch work: a named symbolic-form function.
 struct BatchItem {
@@ -100,12 +111,54 @@ struct BatchOptions {
   /// successes. Null (the default) disables caching; non-owning, must
   /// outlive the call. The cache's own mode picks On vs Verify.
   CompilationCache *Cache = nullptr;
+
+  /// Run every ladder rung in a sandboxed child process (see file
+  /// comment). Requires WorkerExe; child deaths become structured
+  /// ChildCrashed / ChildKilled / ChildTimeout diagnostics.
+  bool Isolate = false;
+  /// Path of the pirac binary to self-exec as `WorkerExe --worker`.
+  /// pirac fills this from /proc/self/exe; empty disables isolation.
+  std::string WorkerExe;
+  /// Extra attempts for retryable child failures (spawn errors and
+  /// ChildKilled). 0 means one attempt, no retries.
+  unsigned MaxRetries = 0;
+  /// Base backoff before retry attempt N: RetryBackoffMs << (N - 1)
+  /// milliseconds. Deterministic — no jitter, no clock sampling.
+  unsigned RetryBackoffMs = 10;
+  /// Address-space cap (RLIMIT_AS) per child, MiB; 0 leaves it off.
+  /// Keep it off under sanitizers — ASan reserves terabytes of shadow.
+  uint64_t ChildMemLimitMB = 0;
+  /// Wall-clock budget per child, ms; the parent SIGKILLs overruns and
+  /// reports ChildTimeout. 0 leaves it off. Like Budget.DeadlineMs this
+  /// depends on real time, so arming it trades batch determinism for
+  /// hang protection.
+  uint64_t ChildTimeoutMs = 0;
+  /// Crash-safe batch journal (pipeline/Journal.h). Non-owning; must be
+  /// open and must outlive the call. Finished functions are appended;
+  /// positions already present replay instead of recompiling.
+  BatchJournal *Journal = nullptr;
 };
 
 /// One failed ladder attempt: which rung, and why it failed.
 struct CompileAttempt {
   std::string Rung;  ///< Strategy name of the attempt.
   Status Diag;       ///< Its structured failure.
+};
+
+/// How one function's sandboxed children behaved (Isolate mode only;
+/// all-zero otherwise). Every field is a deterministic function of the
+/// input and the armed fault sites — wall-clock timeouts excepted — so
+/// it may appear in the stats report without breaking the byte-identity
+/// contract.
+struct IsolationOutcome {
+  bool Isolated = false;   ///< Compiled out of process at all.
+  unsigned Spawns = 0;     ///< Children forked (rungs × attempts).
+  unsigned Retries = 0;    ///< Attempts beyond the first, summed.
+  unsigned Crashes = 0;    ///< Children that died on a crash signal.
+  unsigned Timeouts = 0;   ///< Children SIGKILLed by the watchdog.
+  int ExitCode = 0;        ///< Last child's exit code (-1 if signaled).
+  int Signal = 0;          ///< Last child's fatal signal (0 if none).
+  bool TimedOut = false;   ///< Last child hit the wall-clock budget.
 };
 
 /// How one function travelled through the guard and the ladder.
@@ -116,6 +169,12 @@ struct CompileOutcome {
   unsigned Rung = 0;       ///< 0 = requested strategy, 1 = alloc-first, ...
   bool Degraded = false;   ///< Succeeded, but below the requested rung.
   std::vector<CompileAttempt> FailedAttempts; ///< Rungs that failed first.
+  IsolationOutcome Isolation; ///< Child-process record (Isolate mode).
+  /// Replayed from a batch journal rather than compiled. Deliberately
+  /// not serialized into per-function stats: a resumed run's report must
+  /// stay byte-identical to the uninterrupted run's (the resumed tally
+  /// lives in the telemetry counters instead).
+  bool Resumed = false;
 };
 
 /// Guarded result: the final PipelineResult (last rung attempted) plus
@@ -152,6 +211,16 @@ struct BatchResult {
   unsigned Failed = 0;                  ///< Results with Success clear.
   unsigned Degraded = 0;                ///< Succeeded below the requested rung.
 
+  /// Isolation tallies (zero outside Isolate mode). Deterministic, so
+  /// they live in the report's "batch" block — except Resumed, which
+  /// depends on where the previous run died and is surfaced via the
+  /// counters section only (see CompileOutcome::Resumed).
+  unsigned Isolated = 0;  ///< Functions compiled in child processes.
+  unsigned Crashes = 0;   ///< Child crash signals over the whole batch.
+  unsigned Timeouts = 0;  ///< Child wall/CPU overruns over the batch.
+  unsigned Retries = 0;   ///< Child retry attempts over the batch.
+  unsigned Resumed = 0;   ///< Functions replayed from the journal.
+
   /// Sums over successful results (deterministic; see file comment).
   unsigned TotalRegistersUsed = 0;   ///< Max, not sum: peak register need.
   unsigned TotalSpilledWebs = 0;
@@ -176,7 +245,11 @@ BatchResult compileBatch(const std::vector<BatchItem> &Batch,
 /// \p InputFailures that never compiled), a "degradations" array (every
 /// function rescued below its requested rung, with the per-rung
 /// diagnostics), a "cache" block when \p Cache is non-null (schema v3),
-/// counters, and timers. Everything except "timers" is byte-identical
+/// counters, and timers. Schema v4 adds a per-function "isolation"
+/// record for functions compiled out of process and the batch
+/// "isolated"/"crashes"/"timeouts"/"retries" tallies (deterministic;
+/// the resumed count is deliberately counters-only).
+/// Everything except "timers" is byte-identical
 /// across worker counts; the worker count itself is deliberately not
 /// recorded so reports diff clean across --jobs values. (The "counters"
 /// and "cache" sections do vary between cold and warm cache runs — a

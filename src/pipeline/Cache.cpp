@@ -17,11 +17,15 @@
 #include "support/Telemetry.h"
 
 #include <atomic>
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace pira;
 
@@ -346,29 +350,50 @@ void CompilationCache::insert(const std::string &Key,
     return;
 
   // One file per key, written to a unique temp name in the same
-  // directory and renamed into place: readers see either no entry or a
-  // complete one, and concurrent writers of the same key race to
-  // identical content. Failures degrade to memory-only (counted).
+  // directory, fsync'd, and renamed into place: readers see either no
+  // entry or a complete one, and concurrent writers of the same key
+  // race to identical content. The fsync before the rename matters —
+  // without it a power loss can leave the *renamed* file truncated,
+  // which is exactly the torn entry the atomic rename exists to
+  // prevent. (Truncated entries still read as misses, but durability
+  // should not depend on that backstop.) The directory fsync makes the
+  // rename itself durable. Failures degrade to memory-only (counted).
   static std::atomic<uint64_t> TempCounter{0};
   std::error_code Ec;
   std::filesystem::create_directories(DiskDir, Ec);
   std::string Temp = Path + ".tmp." +
                      std::to_string(TempCounter.fetch_add(1)) + "." +
                      std::to_string(reinterpret_cast<uintptr_t>(this));
+  std::string Payload = Entry->toString(0) + "\n";
   bool Ok = false;
-  {
-    std::ofstream Out(Temp);
-    if (Out) {
-      Entry->write(Out, 0);
-      Out << '\n';
-      Ok = static_cast<bool>(Out);
+  int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd >= 0) {
+    size_t Off = 0;
+    Ok = true;
+    while (Off < Payload.size()) {
+      ssize_t N = ::write(Fd, Payload.data() + Off, Payload.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Ok = false;
+        break;
+      }
+      Off += static_cast<size_t>(N);
     }
+    Ok = Ok && ::fsync(Fd) == 0;
+    Ok = (::close(Fd) == 0) && Ok;
   }
   if (Ok) {
     std::filesystem::rename(Temp, Path, Ec);
     Ok = !Ec;
   }
-  if (!Ok) {
+  if (Ok) {
+    int DirFd = ::open(DiskDir.c_str(), O_RDONLY);
+    if (DirFd >= 0) {
+      ::fsync(DirFd);
+      ::close(DirFd);
+    }
+  } else {
     std::filesystem::remove(Temp, Ec);
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Tally.WriteFailures;

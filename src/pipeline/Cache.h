@@ -30,9 +30,10 @@
 ///
 /// Two tiers: an in-memory map (intra-process; catches duplicate
 /// functions inside one batch) and an optional on-disk directory, one
-/// file per key, written to a temp name and atomically renamed so a
-/// crashed or racing writer can never leave a torn entry under a live
-/// key. Corrupt or truncated disk entries are treated as misses and
+/// file per key, written to a temp name, fsync'd (file and directory),
+/// and atomically renamed so a crashed or racing writer — or a power
+/// loss mid-write — can never leave a torn entry under a live key.
+/// Corrupt or truncated disk entries are treated as misses and
 /// recompiled — the degradation philosophy of DESIGN.md §8 applied to
 /// the cache itself.
 ///

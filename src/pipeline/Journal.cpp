@@ -1,0 +1,307 @@
+//===- pipeline/Journal.cpp - Crash-safe batch journal --------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Journal.h"
+
+#include "ir/Printer.h"
+#include "machine/MachineConfig.h"
+#include "machine/MachineModel.h"
+#include "support/FaultInjection.h"
+#include "support/Hash.h"
+#include "support/Telemetry.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pira;
+
+PIRA_STAT(NumJournalRecordsWritten, "Batch-journal records appended");
+PIRA_STAT(NumJournalRecordsReplayed,
+          "Functions replayed from a batch journal instead of recompiled");
+PIRA_STAT(NumJournalAppendFailures,
+          "Batch-journal appends that failed to land on disk");
+PIRA_STAT(NumJournalTornRecords,
+          "Torn trailing journal data truncated away on resume");
+
+std::string pira::computeJournalDigest(const std::vector<BatchItem> &Batch,
+                                       const MachineModel &Machine,
+                                       const BatchOptions &Opts) {
+  PIRA_TIME_SCOPE("journal/digest");
+  hash::Sha256 H;
+  // Same length-framed field discipline as computeCacheKey: no two
+  // distinct field lists can collide onto one byte stream.
+  auto Field = [&H](std::string_view Tag, std::string_view Value) {
+    H.update(Tag);
+    H.update(":");
+    H.update(std::to_string(Value.size()));
+    H.update(":");
+    H.update(Value);
+    H.update("\n");
+  };
+  Field("format", std::string(JournalSchemaName) + "/" +
+                      std::to_string(JournalSchemaVersion));
+  Field("machine", machineModelToString(Machine));
+  Field("strategy", strategyName(Opts.Strategy));
+  Field("pinter.max-rounds", std::to_string(Opts.Pinter.MaxRounds));
+  Field("pinter.pre-schedule", Opts.Pinter.PreSchedule ? "1" : "0");
+  Field("pinter.use-regions", Opts.Pinter.UseRegions ? "1" : "0");
+  Field("budget.max-instructions",
+        std::to_string(Opts.Budget.MaxInstructions));
+  Field("budget.max-blocks", std::to_string(Opts.Budget.MaxBlocks));
+  Field("budget.deadline-ms", std::to_string(Opts.Budget.DeadlineMs));
+  Field("measure", Opts.Measure ? "1" : "0");
+  Field("seed", std::to_string(Opts.Seed));
+  Field("degrade", Opts.Degrade ? "1" : "0");
+  Field("isolate", Opts.Isolate ? "1" : "0");
+  Field("retries", std::to_string(Opts.MaxRetries));
+  Field("child-mem-mb", std::to_string(Opts.ChildMemLimitMB));
+  Field("child-timeout-ms", std::to_string(Opts.ChildTimeoutMs));
+  Field("fault.spec", faultinject::currentSpec());
+  Field("items", std::to_string(Batch.size()));
+  for (const BatchItem &I : Batch) {
+    Field("item.name", I.Name);
+    Field("item.ir", functionToString(I.Input));
+  }
+  return H.hexDigest();
+}
+
+namespace {
+
+Status journalError(const std::string &What) {
+  return Status::error(ErrorCode::Internal, "journal", What);
+}
+
+Status journalErrno(const std::string &What) {
+  return journalError(What + ": " + std::strerror(errno));
+}
+
+/// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing \p Path so a freshly created journal
+/// file survives a crash of the file system's in-memory state.
+void syncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return; // Advisory only; the record fsyncs still happened.
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+BatchJournal::~BatchJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Status BatchJournal::open(const std::string &Path, const std::string &Digest,
+                          size_t Items, bool Resume) {
+  if (Fd >= 0)
+    return journalError("journal already open");
+  this->Path = Path;
+
+  json::Value Header = json::Value::object();
+  Header.set("schema", JournalSchemaName);
+  Header.set("version", JournalSchemaVersion);
+  Header.set("digest", Digest);
+  Header.set("items", static_cast<uint64_t>(Items));
+  std::string HeaderLine = Header.toString(-1) + "\n";
+
+  if (Resume) {
+    int ReadFd = ::open(Path.c_str(), O_RDWR);
+    if (ReadFd < 0 && errno != ENOENT)
+      return journalErrno("cannot open journal '" + Path + "'");
+    if (ReadFd >= 0) {
+      // Read the whole file; journals are one line per function and a
+      // batch is at most a few thousand functions.
+      std::string Contents;
+      char Buf[1 << 16];
+      for (;;) {
+        ssize_t N = ::read(ReadFd, Buf, sizeof(Buf));
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          ::close(ReadFd);
+          return journalErrno("cannot read journal '" + Path + "'");
+        }
+        if (N == 0)
+          break;
+        Contents.append(Buf, static_cast<size_t>(N));
+      }
+
+      // Walk complete lines; the first unparsable or unterminated line
+      // marks the torn tail — everything from there on is truncated
+      // away so the re-append continues from a clean record boundary.
+      size_t ValidEnd = 0, LineStart = 0;
+      bool SawHeader = false;
+      Status Bad; // first structural (non-torn) problem
+      while (LineStart < Contents.size()) {
+        size_t Newline = Contents.find('\n', LineStart);
+        if (Newline == std::string::npos)
+          break; // unterminated tail: torn
+        std::string Line =
+            Contents.substr(LineStart, Newline - LineStart);
+        json::Value Doc;
+        std::string Error;
+        if (!json::parse(Line, Doc, Error))
+          break; // torn or garbage tail: truncate from here
+        if (!SawHeader) {
+          const json::Value *Schema = Doc.find("schema");
+          const json::Value *Version = Doc.find("version");
+          const json::Value *D = Doc.find("digest");
+          const json::Value *N = Doc.find("items");
+          if (!Doc.isObject() || Schema == nullptr || !Schema->isString() ||
+              Schema->asString() != JournalSchemaName || Version == nullptr ||
+              !Version->isInt() || Version->asInt() != JournalSchemaVersion) {
+            Bad = journalError("'" + Path + "' is not a pira.journal file");
+            break;
+          }
+          if (D == nullptr || !D->isString() || D->asString() != Digest)
+            Bad = journalError(
+                "journal '" + Path +
+                "' was written for a different batch configuration "
+                "(digest mismatch; refusing to resume)");
+          else if (N == nullptr || !N->isInt() ||
+                   N->asInt() != static_cast<int64_t>(Items))
+            Bad = journalError("journal '" + Path +
+                               "' item count does not match this batch");
+          if (!Bad.ok())
+            break;
+          SawHeader = true;
+        } else {
+          const json::Value *Pos = Doc.find("position");
+          const json::Value *Result = Doc.find("result");
+          if (!Doc.isObject() || Pos == nullptr || !Pos->isInt() ||
+              Pos->asInt() < 0 ||
+              static_cast<size_t>(Pos->asInt()) >= Items ||
+              Result == nullptr)
+            break; // malformed record: treat as torn tail
+          Record R;
+          R.Result = *Result;
+          if (const json::Value *Iso = Doc.find("isolation")) {
+            R.Isolation = *Iso;
+            R.HasIsolation = true;
+          }
+          Records[static_cast<size_t>(Pos->asInt())] = std::move(R);
+        }
+        ValidEnd = Newline + 1;
+        LineStart = Newline + 1;
+      }
+      if (!Bad.ok()) {
+        ::close(ReadFd);
+        Records.clear();
+        return Bad;
+      }
+      if (SawHeader) {
+        if (ValidEnd != Contents.size()) {
+          ++NumJournalTornRecords;
+          if (::ftruncate(ReadFd, static_cast<off_t>(ValidEnd)) != 0) {
+            ::close(ReadFd);
+            Records.clear();
+            return journalErrno("cannot truncate torn journal tail in '" +
+                                Path + "'");
+          }
+        }
+        if (::lseek(ReadFd, 0, SEEK_END) < 0) {
+          ::close(ReadFd);
+          Records.clear();
+          return journalErrno("cannot seek journal '" + Path + "'");
+        }
+        NumJournalRecordsReplayed += Records.size();
+        Fd = ReadFd;
+        return Status();
+      }
+      // File existed but held nothing usable (empty or torn header):
+      // start it over below.
+      ::close(ReadFd);
+    }
+  }
+
+  int NewFd =
+      ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (NewFd < 0)
+    return journalErrno("cannot create journal '" + Path + "'");
+  if (!writeAll(NewFd, HeaderLine) || ::fsync(NewFd) != 0) {
+    Status S = journalErrno("cannot write journal header to '" + Path + "'");
+    ::close(NewFd);
+    return S;
+  }
+  syncParentDir(Path);
+  Fd = NewFd;
+  return Status();
+}
+
+bool BatchJournal::has(size_t Position) const {
+  return Records.find(Position) != Records.end();
+}
+
+const json::Value *BatchJournal::resultFor(size_t Position) const {
+  auto It = Records.find(Position);
+  return It == Records.end() ? nullptr : &It->second.Result;
+}
+
+const json::Value *BatchJournal::isolationFor(size_t Position) const {
+  auto It = Records.find(Position);
+  return It == Records.end() || !It->second.HasIsolation
+             ? nullptr
+             : &It->second.Isolation;
+}
+
+Status BatchJournal::append(size_t Position, const std::string &Name,
+                            const json::Value &Result,
+                            const json::Value *Isolation) {
+  json::Value Doc = json::Value::object();
+  Doc.set("position", static_cast<uint64_t>(Position));
+  Doc.set("name", Name);
+  Doc.set("result", Result);
+  if (Isolation != nullptr)
+    Doc.set("isolation", *Isolation);
+  std::string Line = Doc.toString(-1) + "\n";
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fd < 0) {
+    ++AppendFailures;
+    ++NumJournalAppendFailures;
+    return journalError("journal is not open");
+  }
+  // One write per record keeps concurrent appends on record boundaries;
+  // the fsync makes the record durable before the batch moves on, which
+  // is the whole point of journaling.
+  if (!writeAll(Fd, Line) || ::fsync(Fd) != 0) {
+    ++AppendFailures;
+    ++NumJournalAppendFailures;
+    return journalErrno("cannot append journal record for '" + Name + "'");
+  }
+  ++NumJournalRecordsWritten;
+  return Status();
+}
+
+uint64_t BatchJournal::appendFailures() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return AppendFailures;
+}

@@ -1,0 +1,116 @@
+//===- pipeline/Journal.h - Crash-safe batch journal ------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A resumable record of batch progress: one append-only JSONL file
+/// whose first line is a header binding the journal to a specific batch
+/// (a config digest plus the item count) and whose every further line
+/// records one finished function — its input position, its name, the
+/// full worker-protocol result document, and the isolation record.
+/// Records are fsync'd as they land (and the directory is fsync'd when
+/// the file is created), so after a kill -9 the journal holds exactly
+/// the functions that finished.
+///
+/// Resume (`pirac --journal FILE --resume`) re-opens the same file:
+/// the header must match the current batch's digest (a mismatched
+/// journal is an error, never silently ignored — replaying results into
+/// the wrong batch would be corruption), a torn trailing line (the
+/// record being written when the process died) is truncated away, and
+/// every surviving record's position is replayed instead of recompiled.
+/// Replayed results decode through the worker protocol, so a resumed
+/// run's report is byte-identical to an uninterrupted run's (modulo
+/// timers and counters; see CompileOutcome::Resumed).
+///
+/// The digest is a SHA-256 over everything that can change a result:
+/// the machine description, strategy and options, budgets, isolation
+/// and retry knobs, the armed fault spec, and every item's name and
+/// canonical printed IR in order. Worker count is excluded — a batch
+/// may be resumed under a different --jobs value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_PIPELINE_JOURNAL_H
+#define PIRA_PIPELINE_JOURNAL_H
+
+#include "pipeline/Batch.h"
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pira {
+
+/// Journal schema constants (header line).
+inline constexpr const char *JournalSchemaName = "pira.journal";
+inline constexpr int JournalSchemaVersion = 1;
+
+/// Digest binding a journal to one batch configuration (64 hex chars).
+/// Folds in the live fault-injection spec, like computeCacheKey.
+std::string computeJournalDigest(const std::vector<BatchItem> &Batch,
+                                 const MachineModel &Machine,
+                                 const BatchOptions &Opts);
+
+/// One batch journal, open for replay and append. Not movable (owns a
+/// file descriptor and a mutex); make one per batch run.
+class BatchJournal {
+public:
+  BatchJournal() = default;
+  ~BatchJournal();
+  BatchJournal(const BatchJournal &) = delete;
+  BatchJournal &operator=(const BatchJournal &) = delete;
+
+  /// Opens \p Path for this batch. With \p Resume set an existing file
+  /// is validated against \p Digest / \p Items, torn trailing data is
+  /// truncated away, and surviving records become replayable; a missing
+  /// file starts fresh. Without \p Resume the file is created anew
+  /// (truncating any previous contents). Returns an error Status on I/O
+  /// failure or on a digest/item-count mismatch.
+  Status open(const std::string &Path, const std::string &Digest,
+              size_t Items, bool Resume);
+
+  /// True when \p Position finished in a previous run.
+  bool has(size_t Position) const;
+
+  /// The replayable record for \p Position: its worker-protocol result
+  /// document and (possibly null) isolation record. Null when absent.
+  const json::Value *resultFor(size_t Position) const;
+  const json::Value *isolationFor(size_t Position) const;
+
+  /// Appends one finished function and fsyncs the record. \p Result is
+  /// the worker-protocol result document; \p Isolation may be null.
+  /// Thread-safe. Failures are counted and returned, never thrown.
+  Status append(size_t Position, const std::string &Name,
+                const json::Value &Result, const json::Value *Isolation);
+
+  /// Records replayable after open(), i.e. functions this run skips.
+  size_t resumedCount() const { return Records.size(); }
+
+  /// Appends that failed to land since open().
+  uint64_t appendFailures() const;
+
+  const std::string &path() const { return Path; }
+
+private:
+  /// One replayed record, decomposed for cheap access.
+  struct Record {
+    json::Value Result;
+    json::Value Isolation; ///< Null when the run was not isolated.
+    bool HasIsolation = false;
+  };
+
+  int Fd = -1;
+  std::string Path;
+  std::map<size_t, Record> Records; ///< Replayable positions.
+
+  mutable std::mutex Mutex; ///< Guards appends and the failure tally.
+  uint64_t AppendFailures = 0;
+};
+
+} // namespace pira
+
+#endif // PIRA_PIPELINE_JOURNAL_H

@@ -34,7 +34,12 @@
 /// "hit_rate"} (pipeline/Cache.h).
 /// Version history: v2 added "diagnostic" per result and the batch
 /// "failures"/"degradations" sections and "failed"/"degraded"
-/// aggregates; v3 added the batch "cache" block.
+/// aggregates; v3 added the batch "cache" block; v4 added the
+/// per-function "isolation" record (sandboxed-child spawns, retries,
+/// crashes, timeouts, last exit/signal) and the batch "isolated"/
+/// "crashes"/"timeouts"/"retries" tallies for --isolate runs. The
+/// journal-resume count is deliberately a counter, not a batch field,
+/// so resumed reports stay byte-identical to uninterrupted ones.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,7 +57,7 @@ class MachineModel;
 
 /// Schema constants; bump the version whenever a field changes meaning.
 inline constexpr const char *StatsSchemaName = "pira.stats";
-inline constexpr int StatsSchemaVersion = 3;
+inline constexpr int StatsSchemaVersion = 4;
 
 /// Serializes every scalar field of \p R (code and schedule bodies are
 /// deliberately omitted — they belong to the textual printers).

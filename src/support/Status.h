@@ -32,6 +32,7 @@
 
 #include <cassert>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -50,6 +51,9 @@ enum class ErrorCode {
   ResourceExhausted, ///< Instruction/block budget exceeded.
   DeadlineExceeded,  ///< Per-task watchdog deadline passed.
   FaultInjected,     ///< A PIRA_FAULT site fired.
+  ChildCrashed,      ///< Sandboxed worker died on a crash signal.
+  ChildKilled,       ///< Sandboxed worker killed (OOM kill, rlimit, external).
+  ChildTimeout,      ///< Sandboxed worker exceeded its wall/CPU budget.
   Internal,          ///< Unexpected exception or invariant violation.
 };
 
@@ -57,6 +61,10 @@ enum class ErrorCode {
 /// values map to "internal" rather than asserting: codes may arrive from
 /// serialized reports.
 const char *errorCodeName(ErrorCode Code);
+
+/// Inverse of errorCodeName, for diagnostics arriving from serialized
+/// worker results and journals. Unknown names map to Internal.
+ErrorCode errorCodeFromName(std::string_view Name);
 
 /// One structured diagnostic. Default-constructed Status is success.
 class Status {
@@ -98,6 +106,12 @@ public:
   /// Deterministic serialization: {"code", "phase", "message",
   /// "context": [...]}. Success serializes as {"code": "ok"}.
   json::Value toJson() const;
+
+  /// Inverse of toJson, for diagnostics crossing the worker-protocol /
+  /// journal boundary. Lenient: missing members default to empty and an
+  /// unknown code decodes as Internal, so a record written by a newer
+  /// build still reads as *a* failure rather than not parsing.
+  static Status fromJson(const json::Value &V);
 
 private:
   ErrorCode ErrCode = ErrorCode::Ok;

@@ -1,0 +1,307 @@
+//===- support/Subprocess.cpp - Sandboxed child processes -----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/Telemetry.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace pira;
+
+PIRA_STAT(NumSubprocessSpawns, "Sandboxed child processes spawned");
+PIRA_STAT(NumSubprocessTimeouts,
+          "Sandboxed children SIGKILLed by the wall-clock watchdog");
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status spawnError(const std::string &What, int Err) {
+  return Status::error(ErrorCode::Internal, "subprocess",
+                       What + ": " + std::strerror(Err));
+}
+
+/// An owned file descriptor that closes itself, at most once.
+struct Fd {
+  int Raw = -1;
+  ~Fd() { reset(); }
+  void reset() {
+    if (Raw != -1)
+      ::close(Raw);
+    Raw = -1;
+  }
+  /// Hands the descriptor to the caller (used across fork).
+  int release() {
+    int R = Raw;
+    Raw = -1;
+    return R;
+  }
+};
+
+bool makePipe(Fd &ReadEnd, Fd &WriteEnd) {
+  int P[2];
+  if (::pipe(P) != 0)
+    return false;
+  ReadEnd.Raw = P[0];
+  WriteEnd.Raw = P[1];
+  return true;
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags != -1)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// Child-side setup between fork and exec: async-signal-safe calls only.
+[[noreturn]] void execChild(const SubprocessOptions &Opts,
+                            char *const *Argv, int StdinFd, int StdoutFd,
+                            int StderrFd, int StatusFd) {
+  if (::dup2(StdinFd, 0) == -1 || ::dup2(StdoutFd, 1) == -1 ||
+      ::dup2(StderrFd, 2) == -1)
+    ::_exit(127);
+  if (Opts.MemoryLimitMB != 0) {
+    rlimit Lim;
+    Lim.rlim_cur = Lim.rlim_max =
+        static_cast<rlim_t>(Opts.MemoryLimitMB) * 1024 * 1024;
+    ::setrlimit(RLIMIT_AS, &Lim);
+  }
+  if (Opts.CpuLimitSec != 0) {
+    rlimit Lim;
+    Lim.rlim_cur = Lim.rlim_max = static_cast<rlim_t>(Opts.CpuLimitSec);
+    ::setrlimit(RLIMIT_CPU, &Lim);
+  }
+  ::execv(Argv[0], Argv);
+  // exec failed: report errno through the CLOEXEC status pipe so the
+  // parent can tell "exec never happened" from a child exiting 127.
+  int Err = errno;
+  ssize_t Ignored = ::write(StatusFd, &Err, sizeof(Err));
+  (void)Ignored;
+  ::_exit(127);
+}
+
+} // namespace
+
+std::string pira::signalName(int Signal) {
+  switch (Signal) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGILL:
+    return "SIGILL";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGTRAP:
+    return "SIGTRAP";
+  case SIGKILL:
+    return "SIGKILL";
+  case SIGTERM:
+    return "SIGTERM";
+  case SIGXCPU:
+    return "SIGXCPU";
+  case SIGPIPE:
+    return "SIGPIPE";
+  case SIGHUP:
+    return "SIGHUP";
+  case SIGINT:
+    return "SIGINT";
+  default:
+    return "signal " + std::to_string(Signal);
+  }
+}
+
+std::string pira::currentExecutablePath() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return std::string();
+  Buf[N] = '\0';
+  return std::string(Buf);
+}
+
+Expected<SubprocessResult> pira::runSubprocess(const SubprocessOptions &Opts) {
+  PIRA_TIME_SCOPE("subprocess/run");
+  if (Opts.Argv.empty())
+    return Status::error(ErrorCode::InvalidArgument, "subprocess",
+                         "empty argv");
+
+  // A child that stops reading must not SIGPIPE the whole worker; the
+  // write loop handles EPIPE instead.
+  static std::once_flag SigpipeOnce;
+  std::call_once(SigpipeOnce, [] { ::signal(SIGPIPE, SIG_IGN); });
+
+  Fd InR, InW, OutR, OutW, ErrR, ErrW, StatusR, StatusW;
+  if (!makePipe(InR, InW) || !makePipe(OutR, OutW) || !makePipe(ErrR, ErrW) ||
+      !makePipe(StatusR, StatusW))
+    return spawnError("pipe failed", errno);
+  // Every parent-side end is CLOEXEC: the fork gives the child copies of
+  // them, and a child holding the write end of its *own* stdin pipe
+  // would never see EOF there. StatusW is CLOEXEC by design — its
+  // close-on-exec is the success signal.
+  ::fcntl(InW.Raw, F_SETFD, FD_CLOEXEC);
+  ::fcntl(OutR.Raw, F_SETFD, FD_CLOEXEC);
+  ::fcntl(ErrR.Raw, F_SETFD, FD_CLOEXEC);
+  ::fcntl(StatusR.Raw, F_SETFD, FD_CLOEXEC);
+  ::fcntl(StatusW.Raw, F_SETFD, FD_CLOEXEC);
+
+  std::vector<char *> Argv;
+  Argv.reserve(Opts.Argv.size() + 1);
+  for (const std::string &A : Opts.Argv)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return spawnError("fork failed", errno);
+  if (Pid == 0) {
+    // Child. Parent-end descriptors die with the exec (or the _exit).
+    execChild(Opts, Argv.data(), InR.Raw, OutW.Raw, ErrW.Raw, StatusW.Raw);
+  }
+  ++NumSubprocessSpawns;
+
+  // Parent: close the child's ends so EOFs propagate.
+  InR.reset();
+  OutW.reset();
+  ErrW.reset();
+  StatusW.reset();
+
+  // The status pipe resolves the exec race first: CLOEXEC closes it with
+  // zero bytes on success; an errno payload means exec itself failed.
+  {
+    int ExecErrno = 0;
+    ssize_t N = ::read(StatusR.Raw, &ExecErrno, sizeof(ExecErrno));
+    if (N == static_cast<ssize_t>(sizeof(ExecErrno))) {
+      int WStatus = 0;
+      ::waitpid(Pid, &WStatus, 0);
+      return spawnError("exec '" + Opts.Argv[0] + "' failed", ExecErrno);
+    }
+  }
+  StatusR.reset();
+
+  setNonBlocking(InW.Raw);
+  setNonBlocking(OutR.Raw);
+  setNonBlocking(ErrR.Raw);
+
+  SubprocessResult Res;
+  size_t InPos = 0;
+  if (Opts.Input.empty())
+    InW.reset();
+  Clock::time_point Deadline =
+      Opts.TimeoutMs == 0
+          ? Clock::time_point::max()
+          : Clock::now() + std::chrono::milliseconds(Opts.TimeoutMs);
+  bool Killed = false;
+  bool Reaped = false;
+  int WStatus = 0;
+
+  auto DrainOne = [](Fd &F, std::string &Into) {
+    if (F.Raw == -1)
+      return;
+    char Buf[4096];
+    while (true) {
+      ssize_t N = ::read(F.Raw, Buf, sizeof(Buf));
+      if (N > 0) {
+        Into.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N == 0)
+        F.reset(); // EOF
+      // N < 0: EAGAIN (come back later) or a real error — either way
+      // stop for now; a real error resolves once the child is reaped.
+      return;
+    }
+  };
+
+  while (true) {
+    // Reap without blocking so a child that closed its pipes but hangs
+    // on (or one we SIGKILLed) is still collected promptly.
+    if (!Reaped) {
+      pid_t W = ::waitpid(Pid, &WStatus, WNOHANG);
+      if (W == Pid)
+        Reaped = true;
+    }
+    if (Reaped && OutR.Raw == -1 && ErrR.Raw == -1)
+      break;
+    if (Reaped) {
+      // Child gone: drain whatever is left, then stop. A grandchild
+      // holding the pipes open must not keep us here forever.
+      DrainOne(OutR, Res.Stdout);
+      DrainOne(ErrR, Res.Stderr);
+      break;
+    }
+
+    if (!Killed && Clock::now() >= Deadline) {
+      ::kill(Pid, SIGKILL);
+      Killed = true;
+      Res.TimedOut = true;
+      ++NumSubprocessTimeouts;
+    }
+
+    pollfd Fds[3];
+    nfds_t N = 0;
+    auto Add = [&](int Raw, short Events) {
+      Fds[N].fd = Raw;
+      Fds[N].events = Events;
+      Fds[N].revents = 0;
+      ++N;
+    };
+    if (InW.Raw != -1)
+      Add(InW.Raw, POLLOUT);
+    if (OutR.Raw != -1)
+      Add(OutR.Raw, POLLIN);
+    if (ErrR.Raw != -1)
+      Add(ErrR.Raw, POLLIN);
+
+    // Cap the poll so the waitpid/deadline checks above stay live even
+    // with no pipe activity (a sleeping child produces neither).
+    int WaitMs = 100;
+    if (Deadline != Clock::time_point::max() && !Killed) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - Clock::now())
+                      .count();
+      if (Left < WaitMs)
+        WaitMs = Left < 0 ? 0 : static_cast<int>(Left);
+    }
+    ::poll(Fds, N, WaitMs);
+
+    if (InW.Raw != -1) {
+      ssize_t W = ::write(InW.Raw, Opts.Input.data() + InPos,
+                          Opts.Input.size() - InPos);
+      if (W > 0)
+        InPos += static_cast<size_t>(W);
+      else if (W < 0 && errno != EAGAIN && errno != EINTR)
+        InW.reset(); // EPIPE and friends: the child stopped listening.
+      if (InPos == Opts.Input.size())
+        InW.reset(); // All written; EOF tells the child input is done.
+    }
+    DrainOne(OutR, Res.Stdout);
+    DrainOne(ErrR, Res.Stderr);
+  }
+
+  if (!Reaped)
+    ::waitpid(Pid, &WStatus, 0);
+
+  if (WIFSIGNALED(WStatus))
+    Res.Signal = WTERMSIG(WStatus);
+  else if (WIFEXITED(WStatus))
+    Res.ExitCode = WEXITSTATUS(WStatus);
+  return Res;
+}

@@ -1,0 +1,83 @@
+//===- support/Subprocess.h - Sandboxed child processes ---------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-isolation primitive under the batch driver's --isolate
+/// mode: spawn a child (fork + execv), feed it stdin, capture stdout and
+/// stderr, and report exactly how it ended — exit code, terminating
+/// signal, or SIGKILL from the wall-clock watchdog. Resource caps are
+/// applied in the child between fork and exec (setrlimit on address
+/// space and CPU time), so a runaway allocation or a hot loop dies in
+/// the sandbox instead of the worker that spawned it.
+///
+/// Failure taxonomy (what the batch driver maps onto ChildCrashed /
+/// ChildKilled / ChildTimeout diagnostics):
+///
+///   * spawn failure — pipes, fork, or exec did not happen; returned as
+///     an errored Expected. exec failures are detected exactly via a
+///     close-on-exec status pipe, never confused with the child's own
+///     exit codes.
+///   * TimedOut — the wall-clock budget passed; the child was SIGKILLed
+///     and Signal records the kill.
+///   * Signal != 0 — the child died on a signal (its own SIGSEGV/SIGABRT,
+///     the kernel's SIGKILL, SIGXCPU from the CPU rlimit, ...).
+///   * otherwise — ExitCode is the child's _exit status.
+///
+/// Stdout/stderr are drained concurrently with the child (poll loop), so
+/// a chatty child can never deadlock against a full pipe; stdin writing
+/// is interleaved the same way and survives EPIPE (SIGPIPE is ignored
+/// process-wide on first use). All of it is plain POSIX — no threads,
+/// no globals beyond the one-time SIGPIPE disposition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SUPPORT_SUBPROCESS_H
+#define PIRA_SUPPORT_SUBPROCESS_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pira {
+
+/// What to run and under which limits. Limits of 0 mean "none".
+struct SubprocessOptions {
+  std::vector<std::string> Argv; ///< Argv[0] is the executable path.
+  std::string Input;             ///< Bytes written to the child's stdin.
+  uint64_t TimeoutMs = 0;        ///< Wall-clock budget; SIGKILL on expiry.
+  uint64_t MemoryLimitMB = 0;    ///< RLIMIT_AS cap, in MiB.
+  uint64_t CpuLimitSec = 0;      ///< RLIMIT_CPU cap, in seconds.
+};
+
+/// How a spawned child ended. Exactly one of the three fates holds:
+/// TimedOut (watchdog SIGKILL), Signal != 0 (died on a signal), or a
+/// plain ExitCode.
+struct SubprocessResult {
+  int ExitCode = -1;     ///< _exit status when the child exited normally.
+  int Signal = 0;        ///< Terminating signal, 0 when none.
+  bool TimedOut = false; ///< The wall-clock budget expired first.
+  std::string Stdout;
+  std::string Stderr;
+};
+
+/// Runs \p Opts.Argv to completion (or the timeout). A returned value
+/// means the child ran and was reaped; the Expected errors only for
+/// spawn-level failures (pipe/fork/exec), which are the retryable class.
+Expected<SubprocessResult> runSubprocess(const SubprocessOptions &Opts);
+
+/// "SIGSEGV"-style name for \p Signal; "signal N" for unknown values.
+std::string signalName(int Signal);
+
+/// Absolute path of the running executable (/proc/self/exe), or "" when
+/// the platform cannot say. pirac uses it to self-exec --worker children.
+std::string currentExecutablePath();
+
+} // namespace pira
+
+#endif // PIRA_SUPPORT_SUBPROCESS_H

@@ -8,6 +8,7 @@
 #include "support/ThreadPool.h"
 
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <chrono>
@@ -15,6 +16,9 @@
 #include <set>
 
 using namespace pira;
+
+PIRA_STAT(NumDroppedTaskExceptions,
+          "Secondary task exceptions dropped after the first was captured");
 
 //===----------------------------------------------------------------------===//
 // Per-task deadline watchdog
@@ -221,10 +225,14 @@ void ThreadPool::runTask(std::function<void()> &Task) {
   } catch (...) {
     // Capture the first exception; later ones are dropped (the batch
     // driver catches per-function, so multiples here mean a direct pool
-    // user — the first failure is the actionable one).
+    // user — the first failure is the actionable one). Dropped
+    // secondaries are still counted so a silent pile-up shows in the
+    // stats report's counters section.
     std::lock_guard<std::mutex> Lock(ErrorMutex);
     if (!FirstError)
       FirstError = std::current_exception();
+    else
+      ++NumDroppedTaskExceptions;
   }
 }
 
@@ -298,6 +306,8 @@ void ThreadPool::parallelFor(unsigned N,
       } catch (...) {
         if (!E)
           E = std::current_exception();
+        else
+          ++NumDroppedTaskExceptions;
       }
     }
     if (E)

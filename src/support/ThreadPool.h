@@ -18,7 +18,9 @@
 /// the process. The first exception is captured and rethrown from the
 /// next wait() (or parallelFor) on the waiting thread; every other task
 /// still runs to completion, so one poisoned task cannot starve the
-/// rest of a batch.
+/// rest of a batch. Secondary exceptions are dropped by design, but
+/// never silently: each one bumps the NumDroppedTaskExceptions
+/// telemetry counter, which stats reports surface.
 ///
 /// Per-task watchdog: deadline::ScopedDeadline arms a cooperative
 /// wall-clock budget for the current task. A shared watchdog thread

@@ -339,6 +339,37 @@ TEST(CompilationCacheTest, DiskTierPersistsAcrossCacheObjects) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(CompilationCacheTest, AbandonedTempFileNeverShadowsTheKey) {
+  // A writer that dies between the temp write and the atomic rename —
+  // or a power loss before the fsync landed — leaves a torn *.tmp.*
+  // file, never a torn entry. That litter must be invisible: lookups
+  // under the live key miss cleanly and a recompile re-inserts over it.
+  std::filesystem::path Dir = scratchDir("litter");
+  std::filesystem::create_directories(Dir);
+  Function F = smallFunction("litter");
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Key = computeCacheKey(F, M, Opts);
+  std::ofstream(Dir / (Key + ".json.tmp.0.12345"))
+      << "{\"schema\": \"pira.cach"; // torn mid-write
+
+  std::vector<BatchItem> Batch;
+  Batch.push_back({"a.pir", smallFunction("litter")});
+  CompilationCache Cache(CacheMode::On, Dir.string());
+  Opts.Cache = &Cache;
+  ASSERT_EQ(compileBatch(Batch, M, Opts).Succeeded, 1u);
+  CompilationCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);      // The litter never read as an entry.
+  EXPECT_EQ(S.DiskHits, 0u);
+  EXPECT_EQ(S.CorruptEntries, 0u);
+  EXPECT_EQ(S.Inserts, 1u);
+  // The real entry landed next to the corpse and decodes.
+  CompilationCache Fresh(CacheMode::On, Dir.string());
+  EXPECT_TRUE(Fresh.lookup(Key).has_value());
+  std::filesystem::remove_all(Dir);
+}
+
 TEST(CompilationCacheTest, CorruptDiskEntryIsAMissNotAnError) {
   std::filesystem::path Dir = scratchDir("corrupt");
   Function F = smallFunction("mangle");

@@ -1,0 +1,638 @@
+//===- tests/isolation_test.cpp - Process-isolation and journal tests -----===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// The out-of-process compilation stack (DESIGN.md §8): the sandboxed
+// subprocess helper (support/Subprocess.h), the pirac --worker wire
+// protocol (pipeline/Worker.h), the isolated degradation ladder with its
+// crash / kill / timeout taxonomy and bounded retries, and the
+// crash-safe resumable batch journal (pipeline/Journal.h).
+//
+// Tests that fork real pirac children need the binary's path; CMake
+// passes it as PIRAC_PATH. Without it those tests compile to skips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "machine/MachineConfig.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Batch.h"
+#include "pipeline/Journal.h"
+#include "pipeline/Report.h"
+#include "pipeline/Worker.h"
+#include "support/FaultInjection.h"
+#include "support/Subprocess.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pira;
+
+namespace {
+
+/// A tiny well-formed function; \p Name keeps digests distinct per test.
+Function smallFunction(const std::string &Name = "t") {
+  std::string Text = "func @" + Name + R"( regs 8 {
+  array a 4
+block entry:
+  %s0 = li 1
+  %s1 = li 2
+  %s2 = add %s0, %s1
+  %s3 = fmul %s2, %s1
+  store a[0], %s3
+  ret %s3
+}
+)";
+  Function F;
+  std::string Error;
+  EXPECT_TRUE(parseFunction(Text, F, Error)) << Error;
+  return F;
+}
+
+std::vector<BatchItem> smallBatch(unsigned N) {
+  std::vector<BatchItem> Batch;
+  for (unsigned I = 0; I != N; ++I) {
+    std::string Name = "fn" + std::to_string(I);
+    Batch.push_back({Name + ".pir", smallFunction(Name)});
+  }
+  return Batch;
+}
+
+/// A fresh per-test scratch path under the gtest temp root.
+std::filesystem::path scratchPath(const std::string &Tag) {
+  std::filesystem::path P =
+      std::filesystem::path(testing::TempDir()) / ("pira_journal_" + Tag);
+  std::filesystem::remove_all(P);
+  return P;
+}
+
+uint64_t counterValue(const std::string &Name) {
+  for (const telemetry::Counter *C : telemetry::counters())
+    if (Name == C->name())
+      return C->value();
+  ADD_FAILURE() << "no counter named " << Name;
+  return 0;
+}
+
+/// Fault tests disarm the harness on the way out so armed sites never
+/// leak into the rest of the binary.
+class IsolationFaultTest : public testing::Test {
+protected:
+  void TearDown() override { faultinject::reset(); }
+
+  static void arm(const std::string &Spec) {
+    std::string Error;
+    ASSERT_TRUE(faultinject::configure(Spec, Error)) << Error;
+  }
+};
+
+#ifdef PIRAC_PATH
+/// Batch options wired for real child processes.
+BatchOptions isolatedOptions() {
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Isolate = true;
+  Opts.WorkerExe = PIRAC_PATH;
+  Opts.RetryBackoffMs = 1; // Keep retry tests fast.
+  return Opts;
+}
+
+/// The determinism fingerprint for isolated batches: the full stats
+/// report with the wall-clock timers neutralized. Counters stay in —
+/// spawn and crash tallies are themselves part of the contract.
+std::string isolatedFingerprint(const std::vector<BatchItem> &Batch,
+                                const MachineModel &M, unsigned Jobs) {
+  telemetry::reset();
+  BatchOptions Opts = isolatedOptions();
+  Opts.Jobs = Jobs;
+  BatchResult BR = compileBatch(Batch, M, Opts);
+  EXPECT_EQ(BR.Results.size(), Batch.size());
+  json::Value Report = makeBatchStatsReport(BR, Batch, "combined", M);
+  Report.set("timers", json::Value::array());
+  std::ostringstream OS;
+  Report.write(OS, 0);
+  return OS.str();
+}
+#endif // PIRAC_PATH
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Subprocess basics
+//===----------------------------------------------------------------------===//
+
+TEST(SubprocessTest, StdinRoundTripsToStdout) {
+  SubprocessOptions Opts;
+  Opts.Argv = {"/bin/cat"};
+  Opts.Input = "hello sandbox\n";
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_TRUE(R) << R.status().toString();
+  EXPECT_EQ(R->ExitCode, 0);
+  EXPECT_EQ(R->Signal, 0);
+  EXPECT_FALSE(R->TimedOut);
+  EXPECT_EQ(R->Stdout, "hello sandbox\n");
+}
+
+TEST(SubprocessTest, LargeInputDoesNotDeadlockThePipes) {
+  // Bigger than any pipe buffer, so the parent must interleave writing
+  // stdin with draining stdout or the two processes deadlock.
+  std::string Big(1 << 20, 'x');
+  SubprocessOptions Opts;
+  Opts.Argv = {"/bin/cat"};
+  Opts.Input = Big;
+  Opts.TimeoutMs = 30000; // Backstop: a deadlock fails, not hangs.
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_TRUE(R) << R.status().toString();
+  EXPECT_EQ(R->ExitCode, 0);
+  EXPECT_EQ(R->Stdout.size(), Big.size());
+  EXPECT_EQ(R->Stdout, Big);
+}
+
+TEST(SubprocessTest, ExitCodeAndStderrAreCaptured) {
+  SubprocessOptions Opts;
+  Opts.Argv = {"/bin/sh", "-c", "echo out; echo err >&2; exit 5"};
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_TRUE(R) << R.status().toString();
+  EXPECT_EQ(R->ExitCode, 5);
+  EXPECT_EQ(R->Signal, 0);
+  EXPECT_EQ(R->Stdout, "out\n");
+  EXPECT_EQ(R->Stderr, "err\n");
+}
+
+TEST(SubprocessTest, FatalSignalIsCaptured) {
+  SubprocessOptions Opts;
+  Opts.Argv = {"/bin/sh", "-c", "kill -ABRT $$"};
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_TRUE(R) << R.status().toString();
+  EXPECT_EQ(R->ExitCode, -1);
+  EXPECT_EQ(R->Signal, SIGABRT);
+  EXPECT_FALSE(R->TimedOut);
+}
+
+TEST(SubprocessTest, WallClockTimeoutKills) {
+  SubprocessOptions Opts;
+  Opts.Argv = {"/bin/sh", "-c", "sleep 30"};
+  Opts.TimeoutMs = 200;
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_TRUE(R) << R.status().toString();
+  EXPECT_TRUE(R->TimedOut);
+  EXPECT_EQ(R->Signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ExecFailureIsAStatusNotAChildResult) {
+  SubprocessOptions Opts;
+  Opts.Argv = {"/no/such/binary/anywhere"};
+  Expected<SubprocessResult> R = runSubprocess(Opts);
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.status().code(), ErrorCode::Internal);
+  EXPECT_NE(R.status().toString().find("exec"), std::string::npos);
+}
+
+TEST(SubprocessTest, EmptyArgvIsRejected) {
+  Expected<SubprocessResult> R = runSubprocess({});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(SubprocessTest, SignalNamesAreStable) {
+  EXPECT_EQ(signalName(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(signalName(SIGKILL), "SIGKILL");
+  EXPECT_EQ(signalName(SIGXCPU), "SIGXCPU");
+  EXPECT_EQ(signalName(250), "signal 250");
+}
+
+//===----------------------------------------------------------------------===//
+// Worker protocol
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerProtocolTest, JobDocumentCarriesTheSchema) {
+  BatchOptions Opts;
+  json::Value Job = encodeWorkerJob(functionToString(smallFunction()),
+                                    machineModelToString(MachineModel::rs6000()),
+                                    Opts, "", 0);
+  const json::Value *Schema = Job.find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), WorkerJobSchemaName);
+  const json::Value *Version = Job.find("version");
+  ASSERT_NE(Version, nullptr);
+  EXPECT_EQ(Version->asInt(), WorkerProtocolVersion);
+}
+
+TEST(WorkerProtocolTest, WorkerModeCompilesAJobInProcess) {
+  BatchOptions Opts;
+  json::Value Job = encodeWorkerJob(functionToString(smallFunction("wp")),
+                                    machineModelToString(MachineModel::rs6000()),
+                                    Opts, "", 0);
+  std::istringstream In(Job.toString(-1) + "\n");
+  std::ostringstream Out, Err;
+  EXPECT_EQ(runWorkerMode(In, Out, Err), 0) << Err.str();
+
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Out.str(), Doc, Error)) << Error;
+  Expected<GuardedResult> G = decodeWorkerResult(Doc);
+  ASSERT_TRUE(G) << G.status().toString();
+  EXPECT_TRUE(G->Result.Success);
+  EXPECT_TRUE(G->Result.SemanticsPreserved);
+  EXPECT_FALSE(G->Outcome.Degraded);
+  EXPECT_EQ(G->Outcome.Requested, "combined");
+}
+
+TEST(WorkerProtocolTest, WorkerResultMatchesInProcessCompile) {
+  // The whole point of the protocol: a result that travelled through
+  // the child serializes identically to one compiled in-process.
+  Function F = smallFunction("twin");
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  GuardedResult Local = compileFunctionGuarded(F, M, Opts);
+  ASSERT_TRUE(Local.Result.Success);
+
+  json::Value Job =
+      encodeWorkerJob(functionToString(F), machineModelToString(M), Opts, "", 0);
+  std::istringstream In(Job.toString(-1) + "\n");
+  std::ostringstream Out, Err;
+  ASSERT_EQ(runWorkerMode(In, Out, Err), 0) << Err.str();
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Out.str(), Doc, Error)) << Error;
+  Expected<GuardedResult> Remote = decodeWorkerResult(Doc);
+  ASSERT_TRUE(Remote) << Remote.status().toString();
+
+  EXPECT_EQ(functionToString(Remote->Result.Final),
+            functionToString(Local.Result.Final));
+  EXPECT_EQ(pipelineResultToJson(Remote->Result).toString(-1),
+            pipelineResultToJson(Local.Result).toString(-1));
+}
+
+TEST(WorkerProtocolTest, UnparsableIrBecomesAFailureDocumentNotAnExit) {
+  BatchOptions Opts;
+  json::Value Job = encodeWorkerJob(
+      "this is not ir", machineModelToString(MachineModel::rs6000()), Opts, "",
+      0);
+  std::istringstream In(Job.toString(-1) + "\n");
+  std::ostringstream Out, Err;
+  // The compile failed but the *process* is fine: result doc, exit 0.
+  EXPECT_EQ(runWorkerMode(In, Out, Err), 0);
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Out.str(), Doc, Error)) << Error;
+  Expected<GuardedResult> G = decodeWorkerResult(Doc);
+  ASSERT_TRUE(G) << G.status().toString();
+  EXPECT_FALSE(G->Result.Success);
+  EXPECT_FALSE(G->Result.Diag.ok());
+}
+
+TEST(WorkerProtocolTest, MalformedJobIsAProtocolError) {
+  std::istringstream In("{\"schema\": \"something else\"}\n");
+  std::ostringstream Out, Err;
+  EXPECT_EQ(runWorkerMode(In, Out, Err), 3);
+  EXPECT_FALSE(Err.str().empty());
+}
+
+TEST(WorkerProtocolTest, FailedResultRoundTripsTheDiagnostic) {
+  GuardedResult G;
+  G.Result.Success = false;
+  G.Result.Diag = Status::error(ErrorCode::DeadlineExceeded, "sched",
+                                "watchdog expired");
+  G.Result.Diag.addContext("function @x");
+  G.Outcome.Requested = "combined";
+  G.Outcome.Used = "";
+  G.Outcome.FailedAttempts.push_back(
+      {"combined",
+       Status::error(ErrorCode::DeadlineExceeded, "sched", "watchdog expired")});
+
+  json::Value Doc = encodeWorkerResult(G);
+  Expected<GuardedResult> Back = decodeWorkerResult(Doc);
+  ASSERT_TRUE(Back) << Back.status().toString();
+  EXPECT_FALSE(Back->Result.Success);
+  EXPECT_EQ(Back->Result.Diag.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(Back->Result.Diag.toString(), G.Result.Diag.toString());
+  ASSERT_EQ(Back->Outcome.FailedAttempts.size(), 1u);
+  EXPECT_EQ(Back->Outcome.FailedAttempts[0].Rung, "combined");
+}
+
+//===----------------------------------------------------------------------===//
+// Isolated batches (real pirac children)
+//===----------------------------------------------------------------------===//
+
+#ifdef PIRAC_PATH
+
+TEST(IsolatedBatchTest, ResultsMatchInProcessCompilation) {
+  std::vector<BatchItem> Batch = smallBatch(3);
+  MachineModel M = MachineModel::rs6000();
+
+  BatchOptions Plain;
+  Plain.Jobs = 1;
+  BatchResult Local = compileBatch(Batch, M, Plain);
+  BatchResult Remote = compileBatch(Batch, M, isolatedOptions());
+
+  ASSERT_EQ(Remote.Results.size(), Local.Results.size());
+  EXPECT_EQ(Remote.Succeeded, Local.Succeeded);
+  EXPECT_EQ(Remote.Isolated, 3u);
+  EXPECT_EQ(Remote.Crashes, 0u);
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    ASSERT_TRUE(Remote.Results[I].Success);
+    EXPECT_EQ(pipelineResultToJson(Remote.Results[I]).toString(-1),
+              pipelineResultToJson(Local.Results[I]).toString(-1));
+    EXPECT_TRUE(Remote.Outcomes[I].Isolation.Isolated);
+    EXPECT_EQ(Remote.Outcomes[I].Isolation.Spawns, 1u);
+  }
+}
+
+TEST_F(IsolationFaultTest, ChildCrashBecomesAStructuredDiagnostic) {
+  arm("crash.segv:3");
+  std::vector<BatchItem> Batch = smallBatch(3);
+  MachineModel M = MachineModel::rs6000();
+  BatchResult BR = compileBatch(Batch, M, isolatedOptions());
+
+  // Position 0 fires on every rung; the other functions are untouched.
+  ASSERT_EQ(BR.Results.size(), 3u);
+  EXPECT_FALSE(BR.Results[0].Success);
+  EXPECT_EQ(BR.Results[0].Diag.code(), ErrorCode::ChildCrashed);
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Crashes, 3u); // One per ladder rung.
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Signal, SIGSEGV);
+  EXPECT_TRUE(BR.Results[1].Success);
+  EXPECT_TRUE(BR.Results[2].Success);
+  EXPECT_EQ(BR.Succeeded, 2u);
+  EXPECT_EQ(BR.Crashes, 3u);
+}
+
+TEST_F(IsolationFaultTest, ChildKillRetriesDeterministicallyThenGivesUp) {
+  arm("crash.oom:2"); // OOM path ends in SIGKILL, the retryable death.
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts = isolatedOptions();
+  Opts.MaxRetries = 2;
+  BatchResult BR = compileBatch(Batch, M, Opts);
+
+  EXPECT_FALSE(BR.Results[0].Success);
+  EXPECT_EQ(BR.Results[0].Diag.code(), ErrorCode::ChildKilled);
+  // Three ladder rungs, each tried 1 + MaxRetries times.
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Spawns, 9u);
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Retries, 6u);
+  EXPECT_EQ(BR.Retries, 6u);
+  EXPECT_TRUE(BR.Results[1].Success);
+}
+
+TEST_F(IsolationFaultTest, ChildHangBecomesChildTimeout) {
+  arm("crash.hang:2");
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts = isolatedOptions();
+  Opts.ChildTimeoutMs = 3000;
+  BatchResult BR = compileBatch(Batch, M, Opts);
+
+  EXPECT_FALSE(BR.Results[0].Success);
+  EXPECT_EQ(BR.Results[0].Diag.code(), ErrorCode::ChildTimeout);
+  // A timeout is fatal to the whole ladder: retrying a hang would hang
+  // again, and the lower rungs get the same wall clock.
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Spawns, 1u);
+  EXPECT_EQ(BR.Outcomes[0].Isolation.Timeouts, 1u);
+  EXPECT_TRUE(BR.Outcomes[0].Isolation.TimedOut);
+  EXPECT_TRUE(BR.Results[1].Success);
+  EXPECT_EQ(BR.Timeouts, 1u);
+}
+
+TEST_F(IsolationFaultTest, CrashingBatchReportIsWorkerCountInvariant) {
+  arm("crash.segv:3");
+  std::vector<BatchItem> Batch = smallBatch(5);
+  MachineModel M = MachineModel::rs6000();
+  std::string One = isolatedFingerprint(Batch, M, 1);
+  std::string Two = isolatedFingerprint(Batch, M, 2);
+  std::string Eight = isolatedFingerprint(Batch, M, 8);
+  EXPECT_EQ(One, Two);
+  EXPECT_EQ(One, Eight);
+  telemetry::reset();
+}
+
+#endif // PIRAC_PATH
+
+//===----------------------------------------------------------------------===//
+// Journal digest
+//===----------------------------------------------------------------------===//
+
+TEST(JournalDigestTest, SensitiveToConfigButNotWorkerCount) {
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  std::string Base = computeJournalDigest(Batch, M, Opts);
+  EXPECT_EQ(Base.size(), 64u);
+
+  BatchOptions Jobs = Opts;
+  Jobs.Jobs = 8;
+  EXPECT_EQ(computeJournalDigest(Batch, M, Jobs), Base);
+
+  BatchOptions Strat = Opts;
+  Strat.Strategy = StrategyKind::AllocFirst;
+  EXPECT_NE(computeJournalDigest(Batch, M, Strat), Base);
+
+  BatchOptions Retries = Opts;
+  Retries.MaxRetries = 3;
+  EXPECT_NE(computeJournalDigest(Batch, M, Retries), Base);
+
+  std::vector<BatchItem> Fewer(Batch.begin(), Batch.begin() + 1);
+  EXPECT_NE(computeJournalDigest(Fewer, M, Opts), Base);
+
+  MachineModel Tight = MachineModel::rs6000(6);
+  EXPECT_NE(computeJournalDigest(Batch, Tight, Opts), Base);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal resume
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Report fingerprint for resume-identity checks: timers are wall clock
+/// and counters legitimately differ between a clean and a resumed run
+/// (a replay skips the compile-phase counters), so both are stripped.
+std::string resumeFingerprint(const BatchResult &BR,
+                              const std::vector<BatchItem> &Batch,
+                              const MachineModel &M) {
+  json::Value Report = makeBatchStatsReport(BR, Batch, "combined", M);
+  Report.set("timers", json::Value::array());
+  Report.set("counters", json::Value::array());
+  std::ostringstream OS;
+  Report.write(OS, 0);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(JournalTest, ResumeReplaysEveryRecordedPosition) {
+  std::filesystem::path Path = scratchPath("replay");
+  std::vector<BatchItem> Batch = smallBatch(4);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+
+  BatchResult Clean;
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+    Opts.Journal = &J;
+    Clean = compileBatch(Batch, M, Opts);
+    ASSERT_EQ(Clean.Succeeded, 4u);
+    EXPECT_EQ(Clean.Resumed, 0u);
+    EXPECT_EQ(J.appendFailures(), 0u);
+  }
+
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 4u);
+  Opts.Journal = &J;
+  BatchResult Resumed = compileBatch(Batch, M, Opts);
+  EXPECT_EQ(Resumed.Succeeded, 4u);
+  EXPECT_EQ(Resumed.Resumed, 4u);
+  for (const CompileOutcome &O : Resumed.Outcomes)
+    EXPECT_TRUE(O.Resumed);
+
+  // The resumed run's report is the clean run's report.
+  EXPECT_EQ(resumeFingerprint(Resumed, Batch, M),
+            resumeFingerprint(Clean, Batch, M));
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, PartialJournalRecompilesOnlyTheMissingTail) {
+  std::filesystem::path Path = scratchPath("partial");
+  std::vector<BatchItem> Batch = smallBatch(4);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+
+  BatchResult Clean;
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+    Opts.Journal = &J;
+    Clean = compileBatch(Batch, M, Opts);
+  }
+
+  // Keep the header and the first two records — as if the run died
+  // mid-batch — then resume.
+  {
+    std::ifstream In(Path);
+    std::string Line, Kept;
+    for (int I = 0; I != 3 && std::getline(In, Line); ++I)
+      Kept += Line + "\n";
+    In.close();
+    std::ofstream(Path, std::ios::trunc) << Kept;
+  }
+
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 2u);
+  Opts.Journal = &J;
+  BatchResult Resumed = compileBatch(Batch, M, Opts);
+  EXPECT_EQ(Resumed.Succeeded, 4u);
+  EXPECT_EQ(Resumed.Resumed, 2u);
+  EXPECT_EQ(resumeFingerprint(Resumed, Batch, M),
+            resumeFingerprint(Clean, Batch, M));
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, TornTrailingRecordIsTruncatedAway) {
+  std::filesystem::path Path = scratchPath("torn");
+  std::vector<BatchItem> Batch = smallBatch(3);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+    Opts.Journal = &J;
+    ASSERT_EQ(compileBatch(Batch, M, Opts).Succeeded, 3u);
+  }
+  uintmax_t CleanSize = std::filesystem::file_size(Path);
+
+  // A kill -9 mid-append leaves a partial last line.
+  {
+    std::ofstream Out(Path, std::ios::app);
+    Out << "{\"position\": 9, \"name\": \"torn";
+  }
+  ASSERT_GT(std::filesystem::file_size(Path), CleanSize);
+
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 3u); // The torn record never replays.
+  // And the file itself was truncated back to the last good record, so
+  // new appends extend a well-formed journal.
+  EXPECT_EQ(std::filesystem::file_size(Path), CleanSize);
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, DigestMismatchRefusesToResume) {
+  std::filesystem::path Path = scratchPath("mismatch");
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+    Opts.Journal = &J;
+    compileBatch(Batch, M, Opts);
+  }
+
+  BatchOptions Other = Opts;
+  Other.Strategy = StrategyKind::AllocFirst;
+  std::string OtherDigest = computeJournalDigest(Batch, M, Other);
+  ASSERT_NE(OtherDigest, Digest);
+  BatchJournal J;
+  Status S = J.open(Path.string(), OtherDigest, Batch.size(), true);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.toString().find("digest"), std::string::npos);
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, ResumingANonexistentFileStartsFresh) {
+  std::filesystem::path Path = scratchPath("fresh");
+  std::vector<BatchItem> Batch = smallBatch(1);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(Path)); // Created, header written.
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, ReplayTalliesLandInTheTelemetryCounters) {
+  std::filesystem::path Path = scratchPath("counters");
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+    Opts.Journal = &J;
+    compileBatch(Batch, M, Opts);
+  }
+
+  telemetry::reset();
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  Opts.Journal = &J;
+  compileBatch(Batch, M, Opts);
+  EXPECT_EQ(counterValue("NumJournalRecordsReplayed"), 2u);
+  EXPECT_EQ(counterValue("NumJournalRecordsWritten"), 0u);
+  telemetry::reset();
+  std::filesystem::remove(Path);
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+#===- tests/pirac_cli_test.sh - pirac exit-code taxonomy -----------------===#
+#
+# Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+# allocation / instruction scheduling framework.
+#
+# Pins the documented exit-code contract from the outside, through a
+# real shell spawn of the installed binary:
+#
+#   0  every input compiled and verified clean
+#   1  at least one input failed to compile or verify
+#   2  usage error (bad flag or flag value)
+#   3  internal error (journal/report machinery), incl. digest mismatch
+#
+# Usage: pirac_cli_test.sh /path/to/pirac
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+PIRAC=${1:?usage: pirac_cli_test.sh /path/to/pirac}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+FAILURES=0
+
+# expect <wanted-exit> <label> -- cmd args...
+expect() {
+  local want=$1 label=$2
+  shift 3
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got: $*" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $label (exit $got)"
+  fi
+}
+
+cat > good.pir <<'EOF'
+func @good regs 8 {
+  array a 4
+block entry:
+  %s0 = li 1
+  %s1 = li 2
+  %s2 = add %s0, %s1
+  store a[0], %s2
+  ret %s2
+}
+EOF
+
+cat > bad.pir <<'EOF'
+func @bad regs 8 {
+block entry:
+  %s0 = frobnicate 1
+  ret %s0
+}
+EOF
+
+# --- exit 0: clean compiles -------------------------------------------------
+expect 0 "clean single function"        -- "$PIRAC" good.pir
+expect 0 "clean batch"                  -- "$PIRAC" good.pir good.pir --jobs 2
+expect 0 "clean isolated batch"         -- "$PIRAC" good.pir good.pir --isolate
+expect 0 "clean journaled batch"        -- "$PIRAC" good.pir good.pir --journal j0.jsonl
+expect 0 "clean resumed batch"          -- "$PIRAC" good.pir good.pir --journal j0.jsonl --resume
+
+# --- exit 1: compile/verify failures ----------------------------------------
+expect 1 "unparsable input"             -- "$PIRAC" bad.pir
+expect 1 "unreadable input path"        -- "$PIRAC" no-such-file.pir
+expect 1 "mixed batch still reports 1"  -- "$PIRAC" good.pir bad.pir --jobs 2
+expect 1 "isolated child crash"         -- "$PIRAC" good.pir good.pir --isolate \
+                                             --fault-inject crash.segv:2
+expect 1 "budget rejection"             -- "$PIRAC" good.pir --max-instructions 1
+
+# --- exit 2: usage errors ---------------------------------------------------
+expect 2 "unknown flag"                 -- "$PIRAC" --definitely-not-a-flag
+expect 2 "unknown strategy"             -- "$PIRAC" good.pir --strategy bogus
+expect 2 "missing flag value"           -- "$PIRAC" good.pir --retries
+expect 2 "non-numeric flag value"       -- "$PIRAC" good.pir --retries banana
+expect 2 "resume without journal"       -- "$PIRAC" good.pir --resume
+expect 2 "bad fault spec"               -- "$PIRAC" good.pir --fault-inject nope
+
+# --- exit 3: internal errors ------------------------------------------------
+# A journal written under one configuration refuses to resume another.
+"$PIRAC" good.pir good.pir --journal j3.jsonl > /dev/null 2>&1
+expect 3 "journal digest mismatch"      -- "$PIRAC" good.pir good.pir \
+                                             --strategy alloc-first \
+                                             --journal j3.jsonl --resume
+# A journal path whose directory cannot exist never opens.
+expect 3 "unwritable journal path"      -- "$PIRAC" good.pir good.pir \
+                                             --journal /no/such/dir/j.jsonl
+# A stats path whose directory cannot exist fails the report write.
+expect 3 "unwritable stats path"        -- "$PIRAC" good.pir \
+                                             --stats-out /no/such/dir/s.json
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES taxonomy check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code taxonomy checks passed"

@@ -162,7 +162,7 @@ TEST_F(FaultTest, SpecParsingAcceptsKnownSitesAndRejectsJunk) {
 
 TEST_F(FaultTest, EverySiteInTheTableIsConfigurable) {
   const std::vector<const char *> &Sites = faultinject::knownSites();
-  EXPECT_EQ(Sites.size(), 10u);
+  EXPECT_EQ(Sites.size(), 14u);
   std::string Error;
   for (const char *Site : Sites)
     EXPECT_TRUE(faultinject::configure(std::string(Site) + ":2", Error))
@@ -294,6 +294,37 @@ TEST(ThreadPoolRobustness, ParallelForRunsEveryIterationDespiteAThrow) {
         << Workers << " workers";
     EXPECT_EQ(Ran.load(), 15u) << Workers << " workers";
   }
+}
+
+TEST(ThreadPoolRobustness, SecondaryExceptionsAreCountedNotSilent) {
+  // Only the first exception survives to the wait() rethrow; the pool
+  // drops the rest by design, but each drop must leave a telemetry
+  // trace — a silently vanishing diagnostic is the one thing the
+  // failure model forbids.
+  auto Dropped = [] {
+    for (const telemetry::Counter *C : telemetry::counters())
+      if (std::string("NumDroppedTaskExceptions") == C->name())
+        return C->value();
+    ADD_FAILURE() << "no NumDroppedTaskExceptions counter";
+    return uint64_t(0);
+  };
+
+  uint64_t Before = Dropped();
+  ThreadPool Pool(4);
+  for (unsigned I = 0; I != 6; ++I)
+    Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Dropped() - Before, 5u) << "six throws, one captured";
+
+  // The inline parallelFor path counts drops the same way.
+  Before = Dropped();
+  ThreadPool Inline(1);
+  EXPECT_THROW(Inline.parallelFor(4,
+                                  [](unsigned) {
+                                    throw std::runtime_error("iter boom");
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(Dropped() - Before, 3u) << "four throws, one captured";
 }
 
 TEST(DeadlineTest, NothingArmedNeverExpires) {
