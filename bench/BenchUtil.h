@@ -19,6 +19,7 @@
 
 #include "ir/Function.h"
 #include "ir/Printer.h"
+#include "pipeline/Report.h"
 #include "sched/Schedule.h"
 #include "support/Json.h"
 #include "support/UndirectedGraph.h"
@@ -59,16 +60,20 @@ inline uint64_t benchSeed(uint64_t Default = 42) {
   return envUint("PIRA_BENCH_SEED", Default);
 }
 
-/// Starts a "pira.bench" version-1 JSON document with the shared
-/// preamble: bench name plus the reproducibility parameters in effect.
+/// Starts a "pira.bench" version-2 JSON document with the shared
+/// preamble: bench name, the reproducibility parameters in effect, and
+/// the build provenance (the perf gate refuses to compare numbers from
+/// builds it cannot identify — e.g. a Debug run against a Release
+/// baseline).
 inline json::Value makeBenchReport(const std::string &BenchName,
                                    unsigned Iterations, uint64_t Seed) {
   json::Value Root = json::Value::object();
   Root.set("schema", "pira.bench");
-  Root.set("version", 1);
+  Root.set("version", 2);
   Root.set("bench", BenchName);
   Root.set("iterations", Iterations);
   Root.set("seed", Seed);
+  Root.set("provenance", buildProvenanceToJson());
   return Root;
 }
 

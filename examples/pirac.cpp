@@ -37,7 +37,19 @@
 //          [--journal FILE] [--resume]
 //          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
-//          [--time-passes]
+//          [--metrics-out metrics.prom] [--progress]
+//          [--time-passes] [--version]
+//
+// Observability sinks: --stats-out writes the versioned "pira.stats"
+// JSON report, --trace-out the merged Chrome trace (in --isolate runs
+// the children's phase spans nest under the parent's spawn/ladder
+// spans, each under its real pid), and --metrics-out the counter and
+// histogram registries in the Prometheus/OpenMetrics text format. Each
+// sink accepts "-" for stdout, but only one may take it (exit 2
+// otherwise), and when one does, the human-readable output moves to
+// stderr so the machine-readable stream stays clean. --progress draws a
+// rate-limited, TTY-aware live status line on stderr while a batch
+// runs. --version prints the build-provenance line and exits.
 //
 // --fault-inject (or the PIRA_FAULT environment variable) arms the
 // deterministic fault-injection harness; see support/FaultInjection.h
@@ -179,6 +191,8 @@ int main(int argc, char **argv) {
   bool DumpGraphs = false;
   std::string TraceOut;
   std::string StatsOut;
+  std::string MetricsOut;
+  bool Progress = false;
   bool TimePasses = false;
   ResourceBudget Budget;
   bool NoDegrade = false;
@@ -354,8 +368,22 @@ int main(int argc, char **argv) {
     } else if (Arg == "--stats-out") {
       if (!NextValue(StatsOut))
         return 2;
+    } else if (Arg == "--metrics-out") {
+      if (!NextValue(MetricsOut))
+        return 2;
+    } else if (Arg == "--progress") {
+      Progress = true;
+      BatchMode = true;
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg == "--version") {
+      const json::Value P = buildProvenanceToJson();
+      std::cout << "pirac " << P.find("tool_version")->asString() << " (git "
+                << P.find("git_sha")->asString() << ", "
+                << P.find("compiler")->asString() << ", "
+                << P.find("build_type")->asString()
+                << (P.find("ndebug")->asBool() ? ", ndebug" : "") << ")\n";
+      return 0;
     } else if (Arg == "-") {
       std::ostringstream SS;
       SS << std::cin.rdbuf();
@@ -389,6 +417,19 @@ int main(int argc, char **argv) {
     std::cerr << "pirac: --resume requires --journal FILE\n";
     return 2;
   }
+  // At most one machine-readable sink may own stdout; the others must go
+  // to real files or the streams would interleave into garbage.
+  unsigned StdoutWriters = static_cast<unsigned>(TraceOut == "-") +
+                           static_cast<unsigned>(StatsOut == "-") +
+                           static_cast<unsigned>(MetricsOut == "-");
+  if (StdoutWriters > 1) {
+    std::cerr << "pirac: at most one of --trace-out/--stats-out/"
+                 "--metrics-out may write to stdout ('-')\n";
+    return 2;
+  }
+  // With stdout claimed by a report, the human-readable output moves to
+  // stderr so the machine-readable stream stays parseable.
+  std::ostream &Hum = StdoutWriters != 0 ? std::cerr : std::cout;
   if (Inputs.empty() && InputFailures.empty())
     Inputs.emplace_back("<sample>", SampleProgram);
   if (Inputs.size() + InputFailures.size() > 1)
@@ -428,6 +469,7 @@ int main(int argc, char **argv) {
     Opts.Jobs = Jobs;
     Opts.Budget = Budget;
     Opts.Degrade = !NoDegrade;
+    Opts.Progress = Progress;
     Opts.Cache = Cache ? &*Cache : nullptr;
     if (Isolate) {
       Opts.Isolate = true;
@@ -458,61 +500,58 @@ int main(int argc, char **argv) {
     }
 
     BatchResult BR = compileBatch(Batch, Machine, Opts);
-    std::cout << "; batch of " << Batch.size() << " function(s), "
-              << strategyName(Strategy) << " for " << Machine.name() << " ("
-              << Machine.numPhysRegs() << " regs), " << BR.JobsUsed
-              << " worker(s)\n";
+    Hum << "; batch of " << Batch.size() << " function(s), "
+        << strategyName(Strategy) << " for " << Machine.name() << " ("
+        << Machine.numPhysRegs() << " regs), " << BR.JobsUsed
+        << " worker(s)\n";
     for (size_t I = 0; I != Batch.size(); ++I) {
       const PipelineResult &R = BR.Results[I];
       const CompileOutcome &O = BR.Outcomes[I];
-      std::cout << ";   " << Batch[I].Name << " @"
-                << Batch[I].Input.name() << ": ";
+      Hum << ";   " << Batch[I].Name << " @"
+          << Batch[I].Input.name() << ": ";
       if (R.Success) {
-        std::cout << "regs " << R.RegistersUsed << ", spills "
-                  << R.SpillInstructions << ", false deps " << R.FalseDeps
-                  << ", cycles " << R.DynCycles << ", semantics "
-                  << (R.SemanticsPreserved ? "pass" : "FAIL");
+        Hum << "regs " << R.RegistersUsed << ", spills "
+            << R.SpillInstructions << ", false deps " << R.FalseDeps
+            << ", cycles " << R.DynCycles << ", semantics "
+            << (R.SemanticsPreserved ? "pass" : "FAIL");
         if (O.Degraded)
-          std::cout << " (degraded to " << O.Used << ", rung " << O.Rung
-                    << ")";
-        std::cout << '\n';
+          Hum << " (degraded to " << O.Used << ", rung " << O.Rung << ")";
+        Hum << '\n';
       } else {
-        std::cout << "FAILED: "
-                  << (R.Diag.ok() ? R.Error : R.Diag.toString()) << '\n';
+        Hum << "FAILED: " << (R.Diag.ok() ? R.Error : R.Diag.toString())
+            << '\n';
       }
     }
-    std::cout << "; batch: " << BR.Succeeded << "/" << BR.Results.size()
-              << " ok";
+    Hum << "; batch: " << BR.Succeeded << "/" << BR.Results.size() << " ok";
     if (!InputFailures.empty())
-      std::cout << ", " << InputFailures.size() << " input failure(s)";
+      Hum << ", " << InputFailures.size() << " input failure(s)";
     if (BR.Degraded != 0)
-      std::cout << ", " << BR.Degraded << " degraded";
-    std::cout << ", static cycles " << BR.TotalStaticCycles
-              << ", dynamic cycles " << BR.TotalDynCycles << '\n';
+      Hum << ", " << BR.Degraded << " degraded";
+    Hum << ", static cycles " << BR.TotalStaticCycles
+        << ", dynamic cycles " << BR.TotalDynCycles << '\n';
     if (Isolate)
-      std::cout << "; isolation: " << BR.Isolated << " sandboxed, "
-                << BR.Crashes << " crash(es), " << BR.Timeouts
-                << " timeout(s), " << BR.Retries << " retry(ies)\n";
+      Hum << "; isolation: " << BR.Isolated << " sandboxed, "
+          << BR.Crashes << " crash(es), " << BR.Timeouts
+          << " timeout(s), " << BR.Retries << " retry(ies)\n";
     if (Opts.Journal != nullptr) {
-      std::cout << "; journal: " << BR.Resumed << " resumed";
+      Hum << "; journal: " << BR.Resumed << " resumed";
       if (Journal.appendFailures() != 0)
-        std::cout << ", " << Journal.appendFailures()
-                  << " APPEND FAILURE(S)";
-      std::cout << '\n';
+        Hum << ", " << Journal.appendFailures() << " APPEND FAILURE(S)";
+      Hum << '\n';
     }
     if (Cache) {
       CompilationCache::Stats CS = Cache->stats();
-      std::cout << "; cache (" << cacheModeName(Cache->mode()) << "): "
-                << (CS.MemoryHits + CS.DiskHits) << " hit(s) ("
-                << CS.MemoryHits << " memory, " << CS.DiskHits << " disk), "
-                << CS.Misses << " miss(es), " << CS.Inserts << " insert(s)";
+      Hum << "; cache (" << cacheModeName(Cache->mode()) << "): "
+          << (CS.MemoryHits + CS.DiskHits) << " hit(s) ("
+          << CS.MemoryHits << " memory, " << CS.DiskHits << " disk), "
+          << CS.Misses << " miss(es), " << CS.Inserts << " insert(s)";
       if (CS.CorruptEntries != 0)
-        std::cout << ", " << CS.CorruptEntries << " corrupt";
+        Hum << ", " << CS.CorruptEntries << " corrupt";
       if (CS.WriteFailures != 0)
-        std::cout << ", " << CS.WriteFailures << " write failure(s)";
+        Hum << ", " << CS.WriteFailures << " write failure(s)";
       if (CS.VerifyMismatches != 0)
-        std::cout << ", " << CS.VerifyMismatches << " VERIFY MISMATCH(ES)";
-      std::cout << '\n';
+        Hum << ", " << CS.VerifyMismatches << " VERIFY MISMATCH(ES)";
+      Hum << '\n';
     }
 
     bool ReportsOk = true;
@@ -528,6 +567,11 @@ int main(int argc, char **argv) {
                                             Cache ? &*Cache : nullptr),
                        StatsOut, ReportError)) {
       std::cerr << "stats-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (!MetricsOut.empty() &&
+        !telemetry::writeMetricsFile(MetricsOut, ReportError)) {
+      std::cerr << "metrics-out: " << ReportError << '\n';
       ReportsOk = false;
     }
     if (TimePasses)
@@ -554,7 +598,7 @@ int main(int argc, char **argv) {
     InterferenceGraph IG(F, W);
     ParallelInterferenceGraph PIG(F, W, IG, Machine);
     {
-      DotWriter Dot(std::cout, "pig", /*Directed=*/false);
+      DotWriter Dot(Hum, "pig", /*Directed=*/false);
       for (unsigned Web = 0; Web != PIG.numWebs(); ++Web)
         Dot.node(Web, "%s" + std::to_string(W.webRegister(Web)));
       for (const auto &[A2, B2] : PIG.interference().edgeList())
@@ -565,7 +609,7 @@ int main(int argc, char **argv) {
     }
     for (unsigned B2 = 0; B2 != F.numBlocks(); ++B2) {
       FalseDependenceGraph FDG(F, B2, Machine);
-      DotWriter Dot(std::cout, "ef_" + F.block(B2).name(),
+      DotWriter Dot(Hum, "ef_" + F.block(B2).name(),
                     /*Directed=*/false);
       for (unsigned V = 0; V != FDG.size(); ++V)
         Dot.node(V, F.block(B2).name() + ":" + std::to_string(V));
@@ -573,9 +617,9 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::cout << "; compiling @" << F.name() << " with "
-            << strategyName(Strategy) << " for " << Machine.name() << " ("
-            << Machine.numPhysRegs() << " regs)\n\n";
+  Hum << "; compiling @" << F.name() << " with "
+      << strategyName(Strategy) << " for " << Machine.name() << " ("
+      << Machine.numPhysRegs() << " regs)\n\n";
 
   // Telemetry is opt-in: any observability flag turns on scope recording
   // for the compilation that follows.
@@ -594,11 +638,10 @@ int main(int argc, char **argv) {
   PipelineResult &R = G.Result;
 
   for (const CompileAttempt &A : G.Outcome.FailedAttempts)
-    std::cout << "; attempt " << A.Rung << " failed: " << A.Diag.toString()
-              << '\n';
+    Hum << "; attempt " << A.Rung << " failed: " << A.Diag.toString() << '\n';
   if (G.Outcome.Degraded)
-    std::cout << "; NOTE: degraded to " << G.Outcome.Used << " (rung "
-              << G.Outcome.Rung << ")\n";
+    Hum << "; NOTE: degraded to " << G.Outcome.Used << " (rung "
+        << G.Outcome.Rung << ")\n";
 
   // Reports are written even for failed runs — a trace of a failing
   // pipeline is exactly when you want one.
@@ -616,6 +659,11 @@ int main(int argc, char **argv) {
       std::cerr << "stats-out: " << ReportError << '\n';
       Ok = false;
     }
+    if (!MetricsOut.empty() &&
+        !telemetry::writeMetricsFile(MetricsOut, ReportError)) {
+      std::cerr << "metrics-out: " << ReportError << '\n';
+      Ok = false;
+    }
     if (TimePasses)
       telemetry::printTimerReport(std::cerr);
     return Ok;
@@ -627,25 +675,25 @@ int main(int argc, char **argv) {
     return EmitReports() ? 1 : 3;
   }
 
-  printFunction(R.Final, std::cout);
-  std::cout << "\n; schedule:\n";
+  printFunction(R.Final, Hum);
+  Hum << "\n; schedule:\n";
   for (unsigned B = 0; B != R.Final.numBlocks(); ++B) {
-    std::cout << "; block " << R.Final.block(B).name() << " ("
-              << R.Sched.Blocks[B].Makespan << " cycles)\n";
+    Hum << "; block " << R.Final.block(B).name() << " ("
+        << R.Sched.Blocks[B].Makespan << " cycles)\n";
     auto Groups = R.Sched.Blocks[B].groupsByCycle();
     for (unsigned C = 0; C != Groups.size(); ++C) {
-      std::cout << ";   " << C << ":";
+      Hum << ";   " << C << ":";
       for (unsigned I : Groups[C])
-        std::cout << "  " << formatInstruction(R.Final.block(B).inst(I),
-                                               true, &R.Final);
-      std::cout << '\n';
+        Hum << "  " << formatInstruction(R.Final.block(B).inst(I),
+                                         true, &R.Final);
+      Hum << '\n';
     }
   }
-  std::cout << "\n; registers used:   " << R.RegistersUsed
-            << "\n; spill instrs:     " << R.SpillInstructions
-            << "\n; false deps:       " << R.FalseDeps
-            << "\n; dynamic cycles:   " << R.DynCycles
-            << "\n; semantics check:  "
-            << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
+  Hum << "\n; registers used:   " << R.RegistersUsed
+      << "\n; spill instrs:     " << R.SpillInstructions
+      << "\n; false deps:       " << R.FalseDeps
+      << "\n; dynamic cycles:   " << R.DynCycles
+      << "\n; semantics check:  "
+      << (R.SemanticsPreserved ? "pass" : "FAIL") << '\n';
   return EmitReports() ? 0 : 3;
 }

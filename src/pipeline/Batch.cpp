@@ -20,9 +20,14 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <mutex>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace pira;
 
@@ -46,6 +51,14 @@ PIRA_STAT(NumWorkerProtocolErrors,
           "Sandboxed children that exited without a valid result document");
 PIRA_STAT(NumJournalCorruptReplays,
           "Journal records that failed to decode (recompiled instead)");
+
+PIRA_HIST(CompileFunctionLatency,
+          "End-to-end latency of one function's compile (guarded or "
+          "isolated, retries included)");
+PIRA_HIST(LadderRungLatency,
+          "Latency of one degradation-ladder rung attempt (recorded where "
+          "the rung ran: in-process, or inside the sandboxed child and "
+          "merged up)");
 
 /// Marks \p R failed with both the legacy string and the structured
 /// diagnostic (the Strategies-side twin is file-static).
@@ -145,7 +158,11 @@ GuardedResult pira::compileFunctionGuarded(const Function &Input,
   }
 
   for (unsigned I = 0; I != Rungs.size(); ++I) {
-    PipelineResult R = runRungGuarded(Rungs[I], Input, Machine, Opts);
+    PipelineResult R;
+    {
+      telemetry::HistTimer RungTimer(LadderRungLatency);
+      R = runRungGuarded(Rungs[I], Input, Machine, Opts);
+    }
     R.Diag.addContext("rung " + std::string(strategyName(Rungs[I])));
     R.Diag.addContext(FnFrame);
     Out.Outcome.Used = strategyName(Rungs[I]);
@@ -267,6 +284,7 @@ static GuardedResult compileFunctionIsolated(const Function &Input,
   }
 
   for (unsigned RungIdx = 0; RungIdx != Rungs.size(); ++RungIdx) {
+    PIRA_TIME_SCOPE("isolate/rung");
     std::string RungName = strategyName(Rungs[RungIdx]);
 
     // The child compiles exactly this rung: ladder policy stays in the
@@ -301,7 +319,13 @@ static GuardedResult compileFunctionIsolated(const Function &Input,
       SP.Input = Job;
       SP.TimeoutMs = Opts.ChildTimeoutMs;
       SP.MemoryLimitMB = Opts.ChildMemLimitMB;
-      Expected<SubprocessResult> SR = runSubprocess(SP);
+      // The child's trace timeline gets re-based onto this instant, so
+      // its phases nest under the span this scope records.
+      uint64_t SpawnStartNs = telemetry::monotonicNowNs();
+      Expected<SubprocessResult> SR = [&SP] {
+        PIRA_TIME_SCOPE("isolate/spawn");
+        return runSubprocess(SP);
+      }();
 
       bool Retryable = false;
       if (!SR) {
@@ -353,6 +377,14 @@ static GuardedResult compileFunctionIsolated(const Function &Input,
           if (Decoded) {
             Child = Decoded.take();
             GotResult = true;
+            // Protocol v2: fold the child's counters, histograms, and
+            // (when recording) trace events into this process as if the
+            // compile had run here. Keep the raw block too — it rides
+            // into the journal so a resumed run can re-merge it.
+            if (const json::Value *Tel = Doc.find("telemetry")) {
+              telemetry::mergeSnapshot(*Tel, SpawnStartNs);
+              Out.ChildTelemetry.push_back(*Tel);
+            }
           } else {
             ++NumWorkerProtocolErrors;
             RungDiag = Decoded.status();
@@ -401,10 +433,115 @@ static GuardedResult compileFunctionIsolated(const Function &Input,
   return Out;
 }
 
+namespace {
+
+/// The --progress stderr line. Purely cosmetic: it reads the finished
+/// slots and the cache tallies, never influences them, and is rate
+/// limited so a fast batch doesn't drown stderr. On a terminal the line
+/// redraws in place (CR + clear-to-EOL); piped stderr gets occasional
+/// whole lines instead so logs stay readable.
+class ProgressMeter {
+public:
+  ProgressMeter(bool Enabled, size_t Total, const CompilationCache *Cache)
+      : Enabled(Enabled && Total > 0), Total(Total), Cache(Cache),
+        IsTty(::isatty(STDERR_FILENO) != 0),
+        StartNs(telemetry::monotonicNowNs()),
+        LastEmitNs(0) {}
+
+  void tick(const PipelineResult &P, const CompileOutcome &O) {
+    if (!Enabled)
+      return;
+    Done.fetch_add(1, std::memory_order_relaxed);
+    if (!P.Success)
+      Failed.fetch_add(1, std::memory_order_relaxed);
+    if (O.Degraded)
+      Degraded.fetch_add(1, std::memory_order_relaxed);
+    if (O.Isolation.Crashes != 0)
+      Crashed.fetch_add(O.Isolation.Crashes, std::memory_order_relaxed);
+    maybeEmit(/*Final=*/false);
+  }
+
+  void finish() {
+    if (Enabled)
+      maybeEmit(/*Final=*/true);
+  }
+
+private:
+  void maybeEmit(bool Final) {
+    uint64_t Now = telemetry::monotonicNowNs();
+    if (!Final) {
+      uint64_t Interval = IsTty ? 100'000'000ull : 1'000'000'000ull;
+      uint64_t Last = LastEmitNs.load(std::memory_order_relaxed);
+      if (Now - Last < Interval ||
+          !LastEmitNs.compare_exchange_strong(Last, Now,
+                                              std::memory_order_relaxed))
+        return;
+    }
+    std::lock_guard<std::mutex> Lock(EmitMutex);
+    uint64_t D = Done.load(std::memory_order_relaxed);
+    std::string Line = "pirac: " + std::to_string(D) + "/" +
+                       std::to_string(Total) + " done";
+    Line += ", " + std::to_string(Failed.load(std::memory_order_relaxed)) +
+            " failed";
+    Line += ", " + std::to_string(Degraded.load(std::memory_order_relaxed)) +
+            " degraded";
+    Line += ", " + std::to_string(Crashed.load(std::memory_order_relaxed)) +
+            " crashed";
+    if (Cache != nullptr) {
+      CompilationCache::Stats CS = Cache->stats();
+      uint64_t Hits = CS.MemoryHits + CS.DiskHits;
+      uint64_t Lookups = Hits + CS.Misses;
+      if (Lookups != 0) {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%.1f",
+                      100.0 * static_cast<double>(Hits) /
+                          static_cast<double>(Lookups));
+        Line += std::string(" | cache ") + Buf + "%";
+      }
+    }
+    if (D != 0 && D < Total) {
+      double ElapsedS = static_cast<double>(Now - StartNs) / 1e9;
+      double Eta = ElapsedS / static_cast<double>(D) *
+                   static_cast<double>(Total - D);
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.1f", Eta);
+      Line += std::string(" | eta ") + Buf + "s";
+    }
+    if (IsTty) {
+      // Redraw in place; the final emission commits the line.
+      std::fputs(("\r" + Line + "\x1b[K").c_str(), stderr);
+      if (Final)
+        std::fputc('\n', stderr);
+    } else {
+      std::fputs((Line + "\n").c_str(), stderr);
+    }
+    std::fflush(stderr);
+  }
+
+  bool Enabled;
+  size_t Total;
+  const CompilationCache *Cache;
+  bool IsTty;
+  uint64_t StartNs;
+  std::atomic<uint64_t> LastEmitNs;
+  std::atomic<uint64_t> Done{0};
+  std::atomic<uint64_t> Failed{0};
+  std::atomic<uint64_t> Degraded{0};
+  std::atomic<uint64_t> Crashed{0};
+  std::mutex EmitMutex;
+};
+
+} // namespace
+
 BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
                                const MachineModel &Machine,
                                const BatchOptions &Opts) {
-  PIRA_TIME_SCOPE("batch/compile");
+  // The whole-batch span is recorded by hand at the end rather than as
+  // a TimeScope: a live scope on the caller's thread would prefix the
+  // serial path's per-item event paths but not the pool workers', and
+  // the trace contract is that the event set does not depend on the
+  // worker count.
+  uint64_t BatchStartNs = telemetry::monotonicNowNs();
   ++NumBatchesCompiled;
   NumBatchItemsCompiled += Batch.size();
 
@@ -420,6 +557,7 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
 
   // Compiles item \p I in process or in a sandboxed child.
   auto Compile = [&](unsigned I) {
+    telemetry::HistTimer Latency(CompileFunctionLatency);
     return UseIsolation
                ? compileFunctionIsolated(Batch[I].Input, MachineText, Opts)
                : compileFunctionGuarded(Batch[I].Input, Machine, Opts);
@@ -435,10 +573,19 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
       bool HasIso = G.Outcome.Isolation.Isolated;
       if (HasIso)
         Iso = isolationToJson(G.Outcome.Isolation);
+      json::Value Doc = encodeWorkerResult(G);
+      // Journal the children's telemetry blocks alongside the result so
+      // a resumed run re-merges the counters/histograms this run did.
+      if (!G.ChildTelemetry.empty()) {
+        json::Value Tels = json::Value::array();
+        for (json::Value &Tel : G.ChildTelemetry)
+          Tels.push(std::move(Tel));
+        Doc.set("telemetry_list", std::move(Tels));
+      }
       // Append failures are tallied inside the journal (the driver
       // surfaces them as an exit-code-3 condition); the batch itself
       // keeps going — a broken journal must not break the compile.
-      (void)Opts.Journal->append(I, Batch[I].Name, encodeWorkerResult(G),
+      (void)Opts.Journal->append(I, Batch[I].Name, std::move(Doc),
                                  HasIso ? &Iso : nullptr);
     }
     R.Results[I] = std::move(G.Result);
@@ -457,11 +604,19 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
     // decoded record restores result, ladder, and isolation fields, so
     // reports stay byte-identical modulo timers and counters.
     if (Opts.Journal != nullptr && Opts.Journal->has(I)) {
-      Expected<GuardedResult> Replayed =
-          decodeWorkerResult(*Opts.Journal->resultFor(I));
+      const json::Value *Stored = Opts.Journal->resultFor(I);
+      Expected<GuardedResult> Replayed = decodeWorkerResult(*Stored);
       if (Replayed) {
         GuardedResult G = Replayed.take();
         G.Outcome.Resumed = true;
+        // A journaled isolated record carries its children's telemetry
+        // blocks; replaying them restores the counters and histograms
+        // the original run merged, so a resumed run's registries match
+        // an uninterrupted one's.
+        if (const json::Value *Tels = Stored->find("telemetry_list");
+            Tels != nullptr && Tels->isArray())
+          for (const json::Value &Tel : Tels->elements())
+            telemetry::mergeSnapshot(Tel, telemetry::monotonicNowNs());
         if (const json::Value *Iso = Opts.Journal->isolationFor(I))
           isolationFromJson(*Iso, G.Outcome.Isolation);
         R.Results[I] = std::move(G.Result);
@@ -516,17 +671,38 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
     Land(I, std::move(G));
   };
 
+  ProgressMeter Progress(Opts.Progress, Batch.size(), Opts.Cache);
+  // Slot I is fully written when CompileOne(I) returns, so the meter may
+  // read its own item's result without racing other workers.
+  auto CompileOneTicked = [&](unsigned I) {
+    CompileOne(I);
+    Progress.tick(R.Results[I], R.Outcomes[I]);
+  };
+
   unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobCount() : Opts.Jobs;
   Jobs = std::max(1u, Jobs);
   if (Jobs == 1 || Batch.size() <= 1) {
     // Serial reference path: no pool, same observable results.
     R.JobsUsed = 1;
     for (unsigned I = 0, E = static_cast<unsigned>(Batch.size()); I != E; ++I)
-      CompileOne(I);
+      CompileOneTicked(I);
   } else {
     ThreadPool Pool(Jobs);
     R.JobsUsed = Pool.numWorkers();
-    Pool.parallelFor(static_cast<unsigned>(Batch.size()), CompileOne);
+    Pool.parallelFor(static_cast<unsigned>(Batch.size()), CompileOneTicked);
+  }
+  Progress.finish();
+
+  if (telemetry::enabled()) {
+    telemetry::TimedEvent Span;
+    Span.Path = "batch/compile";
+    Span.Label = "batch/compile";
+    Span.StartNs = BatchStartNs;
+    Span.DurationNs = telemetry::monotonicNowNs() - BatchStartNs;
+    Span.ThreadId = 0; // compileBatch runs on the driver's main thread
+    Span.Depth = 0;
+    Span.Pid = telemetry::processId();
+    telemetry::recordForeignEvents({std::move(Span)});
   }
 
   // Deterministic merge: aggregates walk the results in input order, and
@@ -586,6 +762,7 @@ json::Value pira::makeBatchStatsReport(
   json::Value Root = json::Value::object();
   Root.set("schema", StatsSchemaName);
   Root.set("version", StatsSchemaVersion);
+  Root.set("provenance", buildProvenanceToJson());
   if (!Strategy.empty())
     Root.set("strategy", Strategy);
   Root.set("machine", machineToJson(Machine));
@@ -665,6 +842,10 @@ json::Value pira::makeBatchStatsReport(
   if (Cache != nullptr)
     Root.set("cache", Cache->statsToJson());
   Root.set("counters", countersToJson());
+  // The volatile tail: histogram bucket placement and timers carry wall
+  // clock. Identity checks neutralize both (histogram *counts* stay
+  // comparable; see Report.h).
+  Root.set("histograms", histogramsToJson());
   Root.set("timers", timersToJson());
   return Root;
 }

@@ -137,6 +137,13 @@ struct BatchOptions {
   /// open and must outlive the call. Finished functions are appended;
   /// positions already present replay instead of recompiling.
   BatchJournal *Journal = nullptr;
+
+  /// Emit a live progress line to stderr as items finish: done/total,
+  /// failed/degraded/crashed tallies, cache hit rate (when a cache is
+  /// live), and an ETA. Rate-limited, and TTY-aware: a terminal gets an
+  /// in-place carriage-return line, a pipe gets occasional full lines.
+  /// Display only — no effect on results or reports.
+  bool Progress = false;
 };
 
 /// One failed ladder attempt: which rung, and why it failed.
@@ -182,6 +189,12 @@ struct CompileOutcome {
 struct GuardedResult {
   PipelineResult Result;
   CompileOutcome Outcome;
+  /// Raw result-doc-v2 telemetry blocks from every sandboxed child that
+  /// answered (Isolate mode only; empty otherwise). Already merged into
+  /// the live registries by the time the caller sees them; kept so the
+  /// journal can store them and a resumed run can re-merge. Not part of
+  /// stats reports.
+  std::vector<json::Value> ChildTelemetry;
 };
 
 /// Compiles one function under the full fault-isolation contract (see
@@ -248,13 +261,16 @@ BatchResult compileBatch(const std::vector<BatchItem> &Batch,
 /// counters, and timers. Schema v4 adds a per-function "isolation"
 /// record for functions compiled out of process and the batch
 /// "isolated"/"crashes"/"timeouts"/"retries" tallies (deterministic;
-/// the resumed count is deliberately counters-only).
-/// Everything except "timers" is byte-identical
-/// across worker counts; the worker count itself is deliberately not
-/// recorded so reports diff clean across --jobs values. (The "counters"
-/// and "cache" sections do vary between cold and warm cache runs — a
-/// hit legitimately skips the compile-phase counters — so warm-vs-cold
-/// report comparisons exclude "timers", "counters", and "cache".)
+/// the resumed count is deliberately counters-only). Schema v5 adds the
+/// "provenance" block and the "histograms" section (pipeline/Report.h).
+/// Everything except "histograms" bucket placement and "timers" is
+/// byte-identical across worker counts (histogram *counts* included);
+/// the worker count itself is deliberately not recorded so reports diff
+/// clean across --jobs values. (The "counters", "histograms", and
+/// "cache" sections do vary between cold and warm cache runs — a hit
+/// legitimately skips the compile-phase counters — so warm-vs-cold
+/// report comparisons exclude "timers", "counters", "histograms", and
+/// "cache".)
 json::Value makeBatchStatsReport(const BatchResult &R,
                                  const std::vector<BatchItem> &Batch,
                                  const std::string &Strategy,

@@ -39,6 +39,10 @@ PIRA_STAT(NumCacheWriteFailures, "Cache entries that failed to land on disk");
 PIRA_STAT(NumCacheVerifyMismatches,
           "Verify-mode recompiles that did not match the cached entry");
 
+PIRA_HIST(CacheLookupLatency,
+          "One cache lookup: memory probe, and the disk read when it "
+          "misses there");
+
 const char *pira::cacheModeName(CacheMode Mode) {
   switch (Mode) {
   case CacheMode::Off:
@@ -269,6 +273,7 @@ std::string CompilationCache::filePathFor(const std::string &Key) const {
 std::optional<PipelineResult>
 CompilationCache::lookup(const std::string &Key, std::string *SerializedOut) {
   PIRA_TIME_SCOPE("cache/lookup");
+  telemetry::HistTimer Latency(CacheLookupLatency);
   std::shared_ptr<const json::Value> Entry;
   {
     std::lock_guard<std::mutex> Lock(Mutex);

@@ -11,8 +11,18 @@
 #include "support/Telemetry.h"
 
 #include <fstream>
+#include <iostream>
 
 using namespace pira;
+
+// The build system injects git SHA and build type when it can determine
+// them; a bare compiler invocation still builds with the fallbacks.
+#ifndef PIRA_GIT_SHA
+#define PIRA_GIT_SHA "unknown"
+#endif
+#ifndef PIRA_BUILD_TYPE
+#define PIRA_BUILD_TYPE "unknown"
+#endif
 
 json::Value pira::pipelineResultToJson(const PipelineResult &R) {
   json::Value P = json::Value::object();
@@ -51,6 +61,53 @@ json::Value pira::countersToJson() {
   return C;
 }
 
+json::Value pira::histogramsToJson() {
+  json::Value Root = json::Value::object();
+  for (const telemetry::Histogram *H : telemetry::histograms()) {
+    json::Value One = json::Value::object();
+    One.set("description", H->description());
+    One.set("count", H->count());
+    One.set("sum_ns", H->sum());
+    One.set("max_ns", H->max());
+    One.set("p50_ns", H->percentileUpperBound(50.0));
+    One.set("p90_ns", H->percentileUpperBound(90.0));
+    One.set("p99_ns", H->percentileUpperBound(99.0));
+    json::Value Buckets = json::Value::array();
+    for (unsigned I = 0; I < telemetry::Histogram::NumBuckets; ++I) {
+      if (uint64_t N = H->bucketCount(I)) {
+        json::Value Pair = json::Value::array();
+        Pair.push(static_cast<int64_t>(I));
+        Pair.push(static_cast<int64_t>(N));
+        Buckets.push(std::move(Pair));
+      }
+    }
+    One.set("buckets", std::move(Buckets));
+    Root.set(H->name(), std::move(One));
+  }
+  return Root;
+}
+
+json::Value pira::buildProvenanceToJson() {
+  json::Value P = json::Value::object();
+  P.set("tool", "pirac");
+  P.set("tool_version", PiraVersionString);
+  P.set("git_sha", PIRA_GIT_SHA);
+#if defined(__clang__)
+  P.set("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  P.set("compiler", std::string("gcc ") + __VERSION__);
+#else
+  P.set("compiler", "unknown");
+#endif
+  P.set("build_type", PIRA_BUILD_TYPE);
+#ifdef NDEBUG
+  P.set("ndebug", true);
+#else
+  P.set("ndebug", false);
+#endif
+  return P;
+}
+
 json::Value pira::timersToJson() {
   json::Value T = json::Value::array();
   for (const telemetry::TimerAggregate &A : telemetry::timerAggregates()) {
@@ -69,17 +126,29 @@ json::Value pira::makeStatsReport(const PipelineResult &R,
   json::Value Root = json::Value::object();
   Root.set("schema", StatsSchemaName);
   Root.set("version", StatsSchemaVersion);
+  Root.set("provenance", buildProvenanceToJson());
   if (!Strategy.empty())
     Root.set("strategy", Strategy);
   Root.set("machine", machineToJson(Machine));
   Root.set("pipeline", pipelineResultToJson(R));
   Root.set("counters", countersToJson());
+  Root.set("histograms", histogramsToJson());
   Root.set("timers", timersToJson());
   return Root;
 }
 
 bool pira::writeJsonFile(const json::Value &Report,
                          const std::string &FilePath, std::string &Error) {
+  if (FilePath == "-") {
+    Report.write(std::cout, 0);
+    std::cout << '\n';
+    std::cout.flush();
+    if (!std::cout) {
+      Error = "error while writing report to stdout";
+      return false;
+    }
+    return true;
+  }
   std::ofstream Out(FilePath);
   if (!Out) {
     Error = "cannot open '" + FilePath + "' for writing";

@@ -12,16 +12,21 @@
 /// --stats-out` and the bench binaries emit this format so
 /// the perf trajectory of the repo is diffable across PRs.
 ///
-/// Schema (version 3):
+/// Schema (version 5):
 ///
 ///   {
-///     "schema": "pira.stats", "version": 3,
+///     "schema": "pira.stats", "version": 5,
+///     "provenance": {"tool", "tool_version", "git_sha", "compiler",
+///                    "build_type", "ndebug"},
 ///     "strategy": "combined",            // when known
 ///     "machine": {"name": ..., "registers": N, "issue_width": W},
 ///     "pipeline": { ...every PipelineResult scalar field...,
 ///                   "diagnostic": {"code", "phase", "message",
 ///                                  "context": [...]} },
 ///     "counters": {"NumFoo": {"value": N, "description": ...}, ...},
+///     "histograms": {"FooLatency": {"description", "count", "sum_ns",
+///                    "max_ns", "p50_ns", "p90_ns", "p99_ns",
+///                    "buckets": [[i, n], ...]}, ...},
 ///     "timers": [{"path": ..., "calls": N, "total_ns": N}, ...]
 ///   }
 ///
@@ -40,6 +45,18 @@
 /// "crashes"/"timeouts"/"retries" tallies for --isolate runs. The
 /// journal-resume count is deliberately a counter, not a batch field,
 /// so resumed reports stay byte-identical to uninterrupted ones.
+/// v5 added the "provenance" block and the "histograms" section, and —
+/// for --isolate runs — child counters/histograms/trace events merged
+/// into the parent registries via the result-doc v2 telemetry block
+/// (pipeline/Worker.h).
+///
+/// Byte-identity contract: everything above the "histograms" key is
+/// deterministic for deterministic inputs (counters and histogram
+/// *counts* merge commutatively, so they match across --jobs); the
+/// "histograms" bucket placement and "timers" sections carry wall-clock
+/// measurements and are the report's volatile tail — identity checks
+/// neutralize those two sections and compare histogram counts
+/// separately.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,7 +74,10 @@ class MachineModel;
 
 /// Schema constants; bump the version whenever a field changes meaning.
 inline constexpr const char *StatsSchemaName = "pira.stats";
-inline constexpr int StatsSchemaVersion = 4;
+inline constexpr int StatsSchemaVersion = 5;
+
+/// The tool version stamped into provenance blocks and --version output.
+inline constexpr const char *PiraVersionString = "0.6.0";
 
 /// Serializes every scalar field of \p R (code and schedule bodies are
 /// deliberately omitted — they belong to the textual printers).
@@ -69,8 +89,21 @@ json::Value machineToJson(const MachineModel &Machine);
 /// The registered telemetry counters as {"name": {"value", "description"}}.
 json::Value countersToJson();
 
+/// The registered latency histograms as {"name": {"description",
+/// "count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns",
+/// "buckets": [[index, count], ...]}}. Every registered histogram
+/// appears (a stable key set); buckets are sparse. Percentiles are the
+/// deterministic log2 bucket upper bounds.
+json::Value histogramsToJson();
+
 /// Aggregated phase timers as [{"path", "calls", "total_ns"}].
 json::Value timersToJson();
+
+/// The build-provenance block stamped into every stats report and
+/// printed by `pirac --version`: tool name + version, git SHA and build
+/// type when the build system knew them, compiler id/version, and
+/// whether asserts were compiled out (ndebug).
+json::Value buildProvenanceToJson();
 
 /// Assembles the full versioned stats document for one pipeline run.
 /// \p Strategy may be empty when the run is not strategy-shaped.
@@ -78,8 +111,8 @@ json::Value makeStatsReport(const PipelineResult &R,
                             const std::string &Strategy,
                             const MachineModel &Machine);
 
-/// Writes \p Report (pretty-printed) to \p FilePath; false with \p Error
-/// set on I/O failure.
+/// Writes \p Report (pretty-printed) to \p FilePath — or to stdout when
+/// \p FilePath is "-"; false with \p Error set on I/O failure.
 bool writeJsonFile(const json::Value &Report, const std::string &FilePath,
                    std::string &Error);
 

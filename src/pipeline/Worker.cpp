@@ -13,6 +13,7 @@
 #include "pipeline/Cache.h"
 #include "pipeline/Report.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 
 #include <iostream>
 #include <sstream>
@@ -50,6 +51,9 @@ json::Value pira::encodeWorkerJob(const std::string &IRText,
   Fault.set("spec", FaultSpec);
   Fault.set("key", FaultKey);
   Job.set("fault", std::move(Fault));
+  // v2: tell the child whether the parent is recording trace scopes, so
+  // its result document ships events only when they will be merged.
+  Job.set("telemetry", telemetry::enabled());
   return Job;
 }
 
@@ -280,6 +284,13 @@ int pira::runWorkerMode(std::istream &In, std::ostream &Out,
     return 3;
   }
 
+  // v2: mirror the parent's scope-recording switch so trace events are
+  // produced exactly when the parent will merge them. Counters and
+  // histograms record (and ship) regardless.
+  bool WantTrace = false;
+  readBool(Job, "telemetry", WantTrace);
+  telemetry::setEnabled(WantTrace);
+
   std::string MachineError;
   std::optional<MachineModel> Machine =
       parseMachineModel(MachineText, MachineError);
@@ -302,7 +313,11 @@ int pira::runWorkerMode(std::istream &In, std::ostream &Out,
   } else {
     G = compileFunctionGuarded(*F, *Machine, Opts);
   }
-  encodeWorkerResult(G).write(Out, /*Indent=*/-1);
+  json::Value Doc = encodeWorkerResult(G);
+  // v2: everything this process observed rides home in the result doc —
+  // the parent's registries absorb it as if the compile ran in-process.
+  Doc.set("telemetry", telemetry::snapshotToJson());
+  Doc.write(Out, /*Indent=*/-1);
   Out << '\n';
   Out.flush();
   return Out ? 0 : 3;

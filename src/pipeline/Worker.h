@@ -22,9 +22,23 @@
 /// timeout, protocol bug), which is exactly the event the parent's
 /// ChildCrashed / ChildKilled / ChildTimeout taxonomy captures.
 ///
-/// Everything here is deterministic: job and result documents are
-/// insertion-ordered JSON with no clocks or pids, so isolated batches
-/// keep the byte-identical-across---jobs guarantee.
+/// Protocol v2 adds cross-process telemetry: the job document carries a
+/// "telemetry" flag (whether the parent is recording trace scopes), and
+/// the result document carries a "telemetry" block — the child's pid,
+/// nonzero counters, nonempty latency histograms, and (when the flag was
+/// set) its finished trace events (telemetry::snapshotToJson). The
+/// parent folds the block into its own registries with
+/// telemetry::mergeSnapshot, re-basing child timestamps onto the instant
+/// it spawned the child, so --isolate --trace-out shows child compile
+/// phases nested under the parent's spawn/ladder spans.
+///
+/// Determinism: the compile payload of both documents is
+/// insertion-ordered JSON with no clocks or pids, and the telemetry
+/// block's counters and histogram bucket *counts* are deterministic for
+/// deterministic work and merge commutatively — so isolated batches keep
+/// the byte-identical-across---jobs guarantee for everything outside the
+/// wall-clock fields (event timestamps, histogram sums), which live in
+/// the stats report's volatile tail (see pipeline/Report.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +55,7 @@ namespace pira {
 /// Schema constants for both protocol documents.
 inline constexpr const char *WorkerJobSchemaName = "pira.job";
 inline constexpr const char *WorkerResultSchemaName = "pira.result";
-inline constexpr int WorkerProtocolVersion = 1;
+inline constexpr int WorkerProtocolVersion = 2;
 
 /// One compile job as the parent ships it: \p IRText and \p MachineText
 /// are the canonical printed forms (the child re-parses them), \p Opts

@@ -27,6 +27,11 @@ PIRA_STAT(NumSubprocessSpawns, "Sandboxed child processes spawned");
 PIRA_STAT(NumSubprocessTimeouts,
           "Sandboxed children SIGKILLed by the wall-clock watchdog");
 
+PIRA_HIST(SubprocessSpawnLatency,
+          "Pipe setup through fork and the exec-race handshake, per spawn");
+PIRA_HIST(SubprocessTurnaroundLatency,
+          "Whole child lifetime: spawn, I/O pumping, exit reap");
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -139,6 +144,8 @@ std::string pira::currentExecutablePath() {
 
 Expected<SubprocessResult> pira::runSubprocess(const SubprocessOptions &Opts) {
   PIRA_TIME_SCOPE("subprocess/run");
+  telemetry::HistTimer Turnaround(SubprocessTurnaroundLatency);
+  uint64_t SpawnStartNs = telemetry::monotonicNowNs();
   if (Opts.Argv.empty())
     return Status::error(ErrorCode::InvalidArgument, "subprocess",
                          "empty argv");
@@ -195,6 +202,8 @@ Expected<SubprocessResult> pira::runSubprocess(const SubprocessOptions &Opts) {
     }
   }
   StatusR.reset();
+  // The child is alive and exec'd past the race: that is the spawn cost.
+  SubprocessSpawnLatency.record(telemetry::monotonicNowNs() - SpawnStartNs);
 
   setNonBlocking(InW.Raw);
   setNonBlocking(OutR.Raw);

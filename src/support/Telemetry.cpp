@@ -7,14 +7,19 @@
 
 #include "support/Telemetry.h"
 
-#include "support/Json.h"
-
 #include <algorithm>
+#include <bit>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <map>
 #include <mutex>
+#include <set>
+
+#include <unistd.h>
 
 using namespace pira;
 using namespace pira::telemetry;
@@ -29,6 +34,7 @@ std::atomic<bool> Enabled{false};
 struct GlobalState {
   std::mutex Mutex;
   std::vector<Counter *> Counters;
+  std::vector<Histogram *> Histograms;
   std::vector<TimedEvent> Events;
   uint32_t NextThreadId = 0;
 };
@@ -64,6 +70,15 @@ uint64_t nowNs() {
           .count());
 }
 
+/// Shortest round-trip decimal form, locale-independent (the same
+/// contract the JSON writer keeps).
+void writeDouble(std::ostream &OS, double V) {
+  char Buf[64];
+  auto [Ptr, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  (void)Ec;
+  OS.write(Buf, Ptr - Buf);
+}
+
 } // namespace
 
 bool telemetry::enabled() { return Enabled.load(std::memory_order_relaxed); }
@@ -78,7 +93,25 @@ void telemetry::reset() {
   S.Events.clear();
   for (Counter *C : S.Counters)
     C->Value.store(0, std::memory_order_relaxed);
+  for (Histogram *H : S.Histograms) {
+    for (auto &B : H->Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H->Count.store(0, std::memory_order_relaxed);
+    H->Sum.store(0, std::memory_order_relaxed);
+    H->Max.store(0, std::memory_order_relaxed);
+  }
 }
+
+uint64_t telemetry::processId() {
+  static const uint64_t Pid = static_cast<uint64_t>(::getpid());
+  return Pid;
+}
+
+uint64_t telemetry::monotonicNowNs() { return nowNs(); }
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
 
 Counter::Counter(const char *Name, const char *Description)
     : Name(Name), Description(Description) {
@@ -90,6 +123,74 @@ Counter::Counter(const char *Name, const char *Description)
 const std::vector<Counter *> &telemetry::counters() {
   return state().Counters;
 }
+
+bool telemetry::addToCounter(const std::string &Name, uint64_t Delta) {
+  for (Counter *C : state().Counters) {
+    if (Name == C->name()) {
+      *C += Delta;
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(const char *Name, const char *Description)
+    : Name(Name), Description(Description) {
+  GlobalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Histograms.push_back(this);
+}
+
+unsigned Histogram::bucketFor(uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned Width = static_cast<unsigned>(std::bit_width(V));
+  return Width < NumBuckets ? Width : NumBuckets - 1;
+}
+
+uint64_t Histogram::bucketUpperBound(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= NumBuckets - 1)
+    return UINT64_MAX;
+  return (uint64_t{1} << I) - 1;
+}
+
+uint64_t Histogram::percentileUpperBound(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  // Rank of the percentile observation, 1-based, clamped into [1, N].
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(static_cast<double>(N) * P /
+                                                  100.0));
+  Rank = std::min(std::max<uint64_t>(Rank, 1), N);
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Seen += bucketCount(I);
+    if (Seen >= Rank)
+      return bucketUpperBound(I);
+  }
+  return bucketUpperBound(NumBuckets - 1);
+}
+
+const std::vector<Histogram *> &telemetry::histograms() {
+  return state().Histograms;
+}
+
+Histogram *telemetry::findHistogram(const std::string &Name) {
+  for (Histogram *H : state().Histograms)
+    if (Name == H->name())
+      return H;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase timers
+//===----------------------------------------------------------------------===//
 
 TimeScope::TimeScope(const char *Label)
     : Active(Enabled.load(std::memory_order_relaxed)), Label(Label) {
@@ -121,14 +222,23 @@ TimeScope::~TimeScope() {
   }
   GlobalState &S = state();
   std::lock_guard<std::mutex> Lock(S.Mutex);
-  S.Events.push_back(
-      {std::move(Path), Label, StartNs, End - StartNs, TS.Id, Depth});
+  S.Events.push_back({std::move(Path), Label, StartNs, End - StartNs, TS.Id,
+                      Depth, processId()});
 }
 
 std::vector<TimedEvent> telemetry::events() {
   GlobalState &S = state();
   std::lock_guard<std::mutex> Lock(S.Mutex);
   return S.Events;
+}
+
+void telemetry::recordForeignEvents(std::vector<TimedEvent> Events) {
+  if (!enabled() || Events.empty())
+    return;
+  GlobalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  for (TimedEvent &E : Events)
+    S.Events.push_back(std::move(E));
 }
 
 std::vector<TimerAggregate> telemetry::timerAggregates() {
@@ -168,10 +278,176 @@ void telemetry::printTimerReport(std::ostream &OS) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Cross-process snapshots
+//===----------------------------------------------------------------------===//
+
+json::Value telemetry::snapshotToJson() {
+  json::Value Doc = json::Value::object();
+  Doc.set("pid", static_cast<int64_t>(processId()));
+
+  json::Value Counters = json::Value::object();
+  for (const Counter *C : counters())
+    if (uint64_t V = C->value())
+      Counters.set(C->name(), static_cast<int64_t>(V));
+  Doc.set("counters", std::move(Counters));
+
+  json::Value Hists = json::Value::object();
+  for (const Histogram *H : histograms()) {
+    if (H->count() == 0)
+      continue;
+    json::Value HV = json::Value::object();
+    HV.set("count", static_cast<int64_t>(H->count()));
+    HV.set("sum_ns", static_cast<int64_t>(H->sum()));
+    HV.set("max_ns", static_cast<int64_t>(H->max()));
+    json::Value Buckets = json::Value::array();
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+      if (uint64_t N = H->bucketCount(I)) {
+        json::Value Pair = json::Value::array();
+        Pair.push(static_cast<int64_t>(I));
+        Pair.push(static_cast<int64_t>(N));
+        Buckets.push(std::move(Pair));
+      }
+    }
+    HV.set("buckets", std::move(Buckets));
+    Hists.set(H->name(), std::move(HV));
+  }
+  Doc.set("histograms", std::move(Hists));
+
+  json::Value Evs = json::Value::array();
+  for (const TimedEvent &E : events()) {
+    json::Value EV = json::Value::object();
+    EV.set("path", E.Path);
+    EV.set("label", E.Label);
+    EV.set("start_ns", static_cast<int64_t>(E.StartNs));
+    EV.set("dur_ns", static_cast<int64_t>(E.DurationNs));
+    EV.set("tid", static_cast<int64_t>(E.ThreadId));
+    EV.set("depth", static_cast<int64_t>(E.Depth));
+    Evs.push(std::move(EV));
+  }
+  Doc.set("events", std::move(Evs));
+  return Doc;
+}
+
+void telemetry::mergeSnapshot(const json::Value &Snapshot,
+                              uint64_t RebaseStartNs) {
+  if (!Snapshot.isObject())
+    return;
+
+  if (const json::Value *Counters = Snapshot.find("counters");
+      Counters && Counters->isObject())
+    for (const auto &[Name, V] : Counters->members())
+      if (V.isInt() && V.asInt() > 0)
+        addToCounter(Name, static_cast<uint64_t>(V.asInt()));
+
+  if (const json::Value *Hists = Snapshot.find("histograms");
+      Hists && Hists->isObject()) {
+    for (const auto &[Name, HV] : Hists->members()) {
+      Histogram *H = findHistogram(Name);
+      if (!H || !HV.isObject())
+        continue;
+      if (const json::Value *Buckets = HV.find("buckets");
+          Buckets && Buckets->isArray())
+        for (const json::Value &Pair : Buckets->elements())
+          if (Pair.isArray() && Pair.elements().size() == 2 &&
+              Pair.elements()[0].isInt() && Pair.elements()[1].isInt())
+            H->addBucket(static_cast<unsigned>(Pair.elements()[0].asInt()),
+                         static_cast<uint64_t>(Pair.elements()[1].asInt()));
+      if (const json::Value *S = HV.find("sum_ns"); S && S->isInt())
+        H->addSum(static_cast<uint64_t>(S->asInt()));
+      if (const json::Value *M = HV.find("max_ns"); M && M->isInt())
+        H->updateMax(static_cast<uint64_t>(M->asInt()));
+    }
+  }
+
+  const json::Value *Evs = Snapshot.find("events");
+  if (!enabled() || !Evs || !Evs->isArray() || Evs->elements().empty())
+    return;
+
+  uint64_t Pid = 0;
+  if (const json::Value *P = Snapshot.find("pid"); P && P->isInt())
+    Pid = static_cast<uint64_t>(P->asInt());
+
+  // The child's monotonic clock shares no epoch with ours; shift its
+  // timeline so its earliest event lands at RebaseStartNs (typically the
+  // instant we spawned it). Unsigned wraparound makes the shift exact in
+  // both directions.
+  uint64_t MinStart = UINT64_MAX;
+  for (const json::Value &EV : Evs->elements())
+    if (const json::Value *S = EV.find("start_ns"); S && S->isInt())
+      MinStart = std::min(MinStart, static_cast<uint64_t>(S->asInt()));
+  if (MinStart == UINT64_MAX)
+    return;
+  uint64_t Offset = RebaseStartNs - MinStart;
+
+  std::vector<TimedEvent> Foreign;
+  for (const json::Value &EV : Evs->elements()) {
+    if (!EV.isObject())
+      continue;
+    TimedEvent E;
+    if (const json::Value *V = EV.find("path"); V && V->isString())
+      E.Path = V->asString();
+    if (const json::Value *V = EV.find("label"); V && V->isString())
+      E.Label = V->asString();
+    const json::Value *Start = EV.find("start_ns");
+    if (!Start || !Start->isInt())
+      continue;
+    E.StartNs = static_cast<uint64_t>(Start->asInt()) + Offset;
+    if (const json::Value *V = EV.find("dur_ns"); V && V->isInt())
+      E.DurationNs = static_cast<uint64_t>(V->asInt());
+    if (const json::Value *V = EV.find("tid"); V && V->isInt())
+      E.ThreadId = static_cast<uint32_t>(V->asInt());
+    if (const json::Value *V = EV.find("depth"); V && V->isInt())
+      E.Depth = static_cast<uint32_t>(V->asInt());
+    E.Pid = Pid;
+    Foreign.push_back(std::move(E));
+  }
+  recordForeignEvents(std::move(Foreign));
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
 void telemetry::writeChromeTrace(std::ostream &OS) {
+  std::vector<TimedEvent> Evs = events();
+
   json::Value Root = json::Value::object();
   json::Value Trace = json::Value::array();
-  for (const TimedEvent &E : events()) {
+
+  // Metadata first: name every process and thread that appears so merged
+  // parent+child traces read as labeled tracks, not bare pid numbers.
+  std::set<uint64_t> Pids;
+  std::set<std::pair<uint64_t, uint32_t>> Threads;
+  for (const TimedEvent &E : Evs) {
+    Pids.insert(E.Pid);
+    Threads.insert({E.Pid, E.ThreadId});
+  }
+  for (uint64_t Pid : Pids) {
+    json::Value Ev = json::Value::object();
+    Ev.set("name", "process_name");
+    Ev.set("ph", "M");
+    Ev.set("pid", static_cast<int64_t>(Pid));
+    Ev.set("tid", 0);
+    json::Value Args = json::Value::object();
+    Args.set("name", Pid == processId() ? "pirac" : "pirac --worker");
+    Ev.set("args", std::move(Args));
+    Trace.push(std::move(Ev));
+  }
+  for (const auto &[Pid, Tid] : Threads) {
+    json::Value Ev = json::Value::object();
+    Ev.set("name", "thread_name");
+    Ev.set("ph", "M");
+    Ev.set("pid", static_cast<int64_t>(Pid));
+    Ev.set("tid", static_cast<int64_t>(Tid));
+    json::Value Args = json::Value::object();
+    Args.set("name", Tid == 0 ? std::string("main")
+                              : "thread-" + std::to_string(Tid));
+    Ev.set("args", std::move(Args));
+    Trace.push(std::move(Ev));
+  }
+
+  for (const TimedEvent &E : Evs) {
     json::Value Ev = json::Value::object();
     // The event name is the scope's own label so chrome://tracing
     // groups repeated phases; the full hierarchical path rides in args.
@@ -180,7 +456,7 @@ void telemetry::writeChromeTrace(std::ostream &OS) {
     Ev.set("ph", "X");
     Ev.set("ts", static_cast<double>(E.StartNs) / 1e3); // microseconds
     Ev.set("dur", static_cast<double>(E.DurationNs) / 1e3);
-    Ev.set("pid", 1);
+    Ev.set("pid", static_cast<int64_t>(E.Pid));
     Ev.set("tid", static_cast<int64_t>(E.ThreadId));
     json::Value Args = json::Value::object();
     Args.set("path", E.Path);
@@ -196,12 +472,81 @@ void telemetry::writeChromeTrace(std::ostream &OS) {
 
 bool telemetry::writeChromeTraceFile(const std::string &FilePath,
                                      std::string &Error) {
+  if (FilePath == "-") {
+    writeChromeTrace(std::cout);
+    std::cout.flush();
+    if (!std::cout) {
+      Error = "error while writing trace to stdout";
+      return false;
+    }
+    return true;
+  }
   std::ofstream Out(FilePath);
   if (!Out) {
     Error = "cannot open '" + FilePath + "' for writing";
     return false;
   }
   writeChromeTrace(Out);
+  if (!Out) {
+    Error = "error while writing '" + FilePath + "'";
+    return false;
+  }
+  return true;
+}
+
+void telemetry::writePrometheus(std::ostream &OS) {
+  for (const Counter *C : counters()) {
+    std::string Metric = std::string("pira_") + C->name() + "_total";
+    OS << "# HELP " << Metric << ' ' << C->description() << '\n';
+    OS << "# TYPE " << Metric << " counter\n";
+    OS << Metric << ' ' << C->value() << '\n';
+  }
+  for (const Histogram *H : histograms()) {
+    std::string Metric = std::string("pira_") + H->name() + "_seconds";
+    OS << "# HELP " << Metric << ' ' << H->description() << '\n';
+    OS << "# TYPE " << Metric << " histogram\n";
+    // Cumulative buckets up to the highest populated boundary; the
+    // boundaries are the histogram's inclusive log2 upper bounds,
+    // converted from ns to seconds.
+    unsigned MaxBucket = 0;
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I)
+      if (H->bucketCount(I))
+        MaxBucket = I;
+    uint64_t Cumulative = 0;
+    for (unsigned I = 0; I <= MaxBucket && I < Histogram::NumBuckets - 1;
+         ++I) {
+      Cumulative += H->bucketCount(I);
+      OS << Metric << "_bucket{le=\"";
+      writeDouble(OS,
+                  static_cast<double>(Histogram::bucketUpperBound(I)) / 1e9);
+      OS << "\"} " << Cumulative << '\n';
+    }
+    OS << Metric << "_bucket{le=\"+Inf\"} " << H->count() << '\n';
+    OS << Metric << "_sum ";
+    writeDouble(OS, static_cast<double>(H->sum()) / 1e9);
+    OS << '\n';
+    OS << Metric << "_count " << H->count() << '\n';
+  }
+  OS << "# EOF\n";
+}
+
+bool telemetry::writeMetricsFile(const std::string &FilePath,
+                                 std::string &Error) {
+  if (FilePath == "-") {
+    writePrometheus(std::cout);
+    std::cout.flush();
+    if (!std::cout) {
+      Error = "error while writing metrics to stdout";
+      return false;
+    }
+    return true;
+  }
+  std::ofstream Out(FilePath);
+  if (!Out) {
+    Error = "cannot open '" + FilePath + "' for writing";
+    return false;
+  }
+  writePrometheus(Out);
   if (!Out) {
     Error = "error while writing '" + FilePath + "'";
     return false;

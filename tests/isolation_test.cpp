@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -119,6 +120,9 @@ std::string isolatedFingerprint(const std::vector<BatchItem> &Batch,
   EXPECT_EQ(BR.Results.size(), Batch.size());
   json::Value Report = makeBatchStatsReport(BR, Batch, "combined", M);
   Report.set("timers", json::Value::array());
+  // Histogram *counts* are deterministic but the timed bucket placement
+  // is not; identity checks neutralize the section wholesale.
+  Report.set("histograms", json::Value::object());
   std::ostringstream OS;
   Report.write(OS, 0);
   return OS.str();
@@ -415,6 +419,78 @@ TEST_F(IsolationFaultTest, CrashingBatchReportIsWorkerCountInvariant) {
   telemetry::reset();
 }
 
+TEST(IsolatedBatchTest, ChildTelemetryMergesIntoTheParentRegistries) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchResult BR = compileBatch(Batch, M, isolatedOptions());
+  telemetry::setEnabled(false);
+  ASSERT_EQ(BR.Succeeded, 2u);
+
+  // The pipeline only ever ran inside the children, so these tallies can
+  // reach the parent registry only through the v2 result documents.
+  EXPECT_GE(counterValue("NumPipelineRuns"), 2u);
+  EXPECT_GE(counterValue("NumBlocksListScheduled"), 2u);
+  // Same for the rung-latency histogram: one single-rung child compile
+  // per function, recorded child-side and merged up.
+  telemetry::Histogram *Rung = telemetry::findHistogram("LadderRungLatency");
+  ASSERT_NE(Rung, nullptr);
+  EXPECT_EQ(Rung->count(), 2u);
+
+  // Child trace events arrive with the child's pid kept, re-based onto
+  // the parent's clock no earlier than the parent's own first event.
+  bool SawChildEvent = false;
+  uint64_t ParentMinStart = UINT64_MAX;
+  for (const telemetry::TimedEvent &E : telemetry::events())
+    if (E.Pid == telemetry::processId())
+      ParentMinStart = std::min(ParentMinStart, E.StartNs);
+  for (const telemetry::TimedEvent &E : telemetry::events()) {
+    if (E.Pid == telemetry::processId())
+      continue;
+    SawChildEvent = true;
+    EXPECT_GE(E.StartNs, ParentMinStart);
+  }
+  EXPECT_TRUE(SawChildEvent);
+  telemetry::reset();
+}
+
+/// The trace-side determinism fingerprint: every recorded event path
+/// (parent and merged child alike) plus every histogram's sample count,
+/// both order-normalized. Timestamps, durations, and bucket placement
+/// are the wall-clock tail and stay out.
+std::string tracedFingerprint(const std::vector<BatchItem> &Batch,
+                              const MachineModel &M, unsigned Jobs) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  BatchOptions Opts = isolatedOptions();
+  Opts.Jobs = Jobs;
+  compileBatch(Batch, M, Opts);
+  std::vector<std::string> Paths;
+  for (const telemetry::TimedEvent &E : telemetry::events())
+    Paths.push_back(E.Path);
+  std::sort(Paths.begin(), Paths.end());
+  std::ostringstream OS;
+  for (const std::string &P : Paths)
+    OS << P << '\n';
+  for (const telemetry::Histogram *H : telemetry::histograms())
+    OS << H->name() << '=' << H->count() << '\n';
+  telemetry::setEnabled(false);
+  telemetry::reset();
+  return OS.str();
+}
+
+TEST_F(IsolationFaultTest, CrashingBatchTraceIsWorkerCountInvariant) {
+  arm("crash.segv:3");
+  std::vector<BatchItem> Batch = smallBatch(5);
+  MachineModel M = MachineModel::rs6000();
+  std::string One = tracedFingerprint(Batch, M, 1);
+  std::string Two = tracedFingerprint(Batch, M, 2);
+  std::string Eight = tracedFingerprint(Batch, M, 8);
+  EXPECT_EQ(One, Two);
+  EXPECT_EQ(One, Eight);
+}
+
 #endif // PIRAC_PATH
 
 //===----------------------------------------------------------------------===//
@@ -462,6 +538,7 @@ std::string resumeFingerprint(const BatchResult &BR,
   json::Value Report = makeBatchStatsReport(BR, Batch, "combined", M);
   Report.set("timers", json::Value::array());
   Report.set("counters", json::Value::array());
+  Report.set("histograms", json::Value::object());
   std::ostringstream OS;
   Report.write(OS, 0);
   return OS.str();

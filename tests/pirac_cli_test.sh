@@ -65,6 +65,21 @@ expect 0 "clean batch"                  -- "$PIRAC" good.pir good.pir --jobs 2
 expect 0 "clean isolated batch"         -- "$PIRAC" good.pir good.pir --isolate
 expect 0 "clean journaled batch"        -- "$PIRAC" good.pir good.pir --journal j0.jsonl
 expect 0 "clean resumed batch"          -- "$PIRAC" good.pir good.pir --journal j0.jsonl --resume
+expect 0 "--version"                    -- "$PIRAC" --version
+expect 0 "metrics to file"              -- "$PIRAC" good.pir good.pir --metrics-out m.prom
+expect 0 "metrics to stdout"            -- "$PIRAC" good.pir good.pir --metrics-out -
+expect 0 "stats to stdout"              -- "$PIRAC" good.pir --stats-out -
+expect 0 "progress batch"               -- "$PIRAC" good.pir good.pir --progress
+
+# A stdout sink must leave stdout machine-clean: exactly one parsable
+# OpenMetrics/JSON document, no human chatter mixed in.
+if "$PIRAC" good.pir good.pir --metrics-out - 2> /dev/null | grep -q '^# EOF$' \
+   && ! "$PIRAC" good.pir good.pir --metrics-out - 2> /dev/null | grep -q 'batch of'; then
+  echo "ok: stdout metrics are machine-clean"
+else
+  echo "FAIL: stdout metrics mixed with human output" >&2
+  FAILURES=$((FAILURES + 1))
+fi
 
 # --- exit 1: compile/verify failures ----------------------------------------
 expect 1 "unparsable input"             -- "$PIRAC" bad.pir
@@ -81,6 +96,11 @@ expect 2 "missing flag value"           -- "$PIRAC" good.pir --retries
 expect 2 "non-numeric flag value"       -- "$PIRAC" good.pir --retries banana
 expect 2 "resume without journal"       -- "$PIRAC" good.pir --resume
 expect 2 "bad fault spec"               -- "$PIRAC" good.pir --fault-inject nope
+# Only one report may claim stdout; two "-" sinks would interleave.
+expect 2 "two stdout report sinks"      -- "$PIRAC" good.pir \
+                                             --stats-out - --metrics-out -
+expect 2 "stats+trace both on stdout"   -- "$PIRAC" good.pir \
+                                             --stats-out - --trace-out -
 
 # --- exit 3: internal errors ------------------------------------------------
 # A journal written under one configuration refuses to resume another.
@@ -94,6 +114,8 @@ expect 3 "unwritable journal path"      -- "$PIRAC" good.pir good.pir \
 # A stats path whose directory cannot exist fails the report write.
 expect 3 "unwritable stats path"        -- "$PIRAC" good.pir \
                                              --stats-out /no/such/dir/s.json
+expect 3 "unwritable metrics path"      -- "$PIRAC" good.pir \
+                                             --metrics-out /no/such/dir/m.prom
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES taxonomy check(s) failed" >&2

@@ -46,6 +46,7 @@ protected:
 
 PIRA_STAT(TestCounterA, "test-only counter A");
 PIRA_STAT(TestCounterB, "test-only counter B");
+PIRA_HIST(TestHistA, "test-only latency histogram A");
 
 TEST_F(TelemetryTest, NestedScopesProduceHierarchicalPaths) {
   {
@@ -65,7 +66,7 @@ TEST_F(TelemetryTest, NestedScopesProduceHierarchicalPaths) {
   EXPECT_EQ(Events[3].Path, "outer");
   EXPECT_EQ(Events[0].Depth, 2u);
   EXPECT_EQ(Events[3].Depth, 0u);
-  EXPECT_STREQ(Events[0].Label, "inner");
+  EXPECT_EQ(Events[0].Label, "inner");
   // A nested scope cannot run longer than its parent.
   EXPECT_LE(Events[0].DurationNs, Events[3].DurationNs);
 }
@@ -149,23 +150,208 @@ TEST_F(TelemetryTest, ChromeTraceIsValidJsonWithCompleteEvents) {
   const json::Value *Trace = Root.find("traceEvents");
   ASSERT_NE(Trace, nullptr);
   ASSERT_TRUE(Trace->isArray());
-  ASSERT_EQ(Trace->elements().size(), 2u);
+  // One process-name and one thread-name metadata event precede the two
+  // complete events: every span came from this process's main thread.
+  std::vector<const json::Value *> Meta, Spans;
   for (const json::Value &Ev : Trace->elements()) {
+    ASSERT_TRUE(Ev.find("ph") != nullptr);
+    if (Ev.find("ph")->asString() == "M")
+      Meta.push_back(&Ev);
+    else
+      Spans.push_back(&Ev);
+  }
+  ASSERT_EQ(Meta.size(), 2u);
+  EXPECT_EQ(Meta[0]->find("name")->asString(), "process_name");
+  EXPECT_EQ(Meta[0]->find("args")->find("name")->asString(), "pirac");
+  EXPECT_EQ(Meta[1]->find("name")->asString(), "thread_name");
+  EXPECT_EQ(Meta[1]->find("args")->find("name")->asString(), "main");
+
+  ASSERT_EQ(Spans.size(), 2u);
+  for (const json::Value *EvP : Spans) {
+    const json::Value &Ev = *EvP;
     // Complete ("X") events carry their duration inline, so every event
     // is trivially matched — no dangling B without E.
-    ASSERT_TRUE(Ev.find("ph") != nullptr);
     EXPECT_EQ(Ev.find("ph")->asString(), "X");
     EXPECT_TRUE(Ev.has("name"));
     EXPECT_TRUE(Ev.has("ts"));
     EXPECT_TRUE(Ev.has("dur"));
-    EXPECT_TRUE(Ev.has("pid"));
+    // Spans carry the real process id, not a placeholder.
+    ASSERT_TRUE(Ev.has("pid"));
+    EXPECT_EQ(Ev.find("pid")->asInt(),
+              static_cast<int64_t>(telemetry::processId()));
     EXPECT_TRUE(Ev.has("tid"));
     ASSERT_NE(Ev.find("args"), nullptr);
     EXPECT_TRUE(Ev.find("args")->has("path"));
   }
   // Nesting is visible in the args.path of the inner event.
-  EXPECT_EQ(Trace->elements()[0].find("args")->find("path")->asString(),
+  EXPECT_EQ(Spans[0]->find("args")->find("path")->asString(),
             "phase/a/phase/b");
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, HistogramBucketBoundaries) {
+  using H = telemetry::Histogram;
+  // Bucket 0 holds exactly {0}; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(H::bucketFor(0), 0u);
+  EXPECT_EQ(H::bucketFor(1), 1u);
+  EXPECT_EQ(H::bucketFor(2), 2u);
+  EXPECT_EQ(H::bucketFor(3), 2u);
+  EXPECT_EQ(H::bucketFor(4), 3u);
+  EXPECT_EQ(H::bucketFor(1023), 10u);
+  EXPECT_EQ(H::bucketFor(1024), 11u);
+  // The top bucket absorbs everything that would overflow the range.
+  EXPECT_EQ(H::bucketFor(UINT64_MAX), 63u);
+  // Upper bounds are inclusive and consistent with bucketFor: a value at
+  // a bucket's bound maps into that bucket, one past it does not.
+  EXPECT_EQ(H::bucketUpperBound(0), 0u);
+  EXPECT_EQ(H::bucketUpperBound(1), 1u);
+  EXPECT_EQ(H::bucketUpperBound(2), 3u);
+  EXPECT_EQ(H::bucketUpperBound(11), 2047u);
+  EXPECT_EQ(H::bucketUpperBound(63), UINT64_MAX);
+  for (unsigned I = 0; I != 20; ++I) {
+    EXPECT_EQ(H::bucketFor(H::bucketUpperBound(I)), I) << I;
+    EXPECT_EQ(H::bucketFor(H::bucketUpperBound(I) + 1), I + 1) << I;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramRecordAndPercentiles) {
+  // Histograms record regardless of the trace flag, like counters.
+  telemetry::setEnabled(false);
+  for (uint64_t V : {0u, 1u, 5u, 5u, 100u, 1000u, 1000000u})
+    TestHistA.record(V);
+  EXPECT_EQ(TestHistA.count(), 7u);
+  EXPECT_EQ(TestHistA.sum(), 1001111u);
+  EXPECT_EQ(TestHistA.max(), 1000000u);
+  EXPECT_EQ(TestHistA.bucketCount(0), 1u); // the 0
+  EXPECT_EQ(TestHistA.bucketCount(3), 2u); // the 5s in [4,8)
+  // Percentiles report the bucket's inclusive upper bound.
+  EXPECT_EQ(TestHistA.percentileUpperBound(50.0),
+            telemetry::Histogram::bucketUpperBound(
+                telemetry::Histogram::bucketFor(5)));
+  EXPECT_EQ(TestHistA.percentileUpperBound(100.0),
+            telemetry::Histogram::bucketUpperBound(
+                telemetry::Histogram::bucketFor(1000000)));
+  // Registered once, findable by name, cleared by reset.
+  ASSERT_EQ(telemetry::findHistogram("TestHistA"), &TestHistA);
+  telemetry::reset();
+  EXPECT_EQ(TestHistA.count(), 0u);
+  EXPECT_EQ(TestHistA.sum(), 0u);
+  EXPECT_EQ(TestHistA.max(), 0u);
+}
+
+TEST_F(TelemetryTest, SnapshotRoundTripsCountersHistogramsAndEvents) {
+  TestCounterA += 5;
+  TestHistA.record(7);
+  TestHistA.record(900);
+  { PIRA_TIME_SCOPE("child/work"); }
+  json::Value Snapshot = telemetry::snapshotToJson();
+  EXPECT_TRUE(Snapshot.find("pid")->isInt());
+
+  // A fresh registry fed the snapshot reproduces the source exactly —
+  // this is the worker->parent merge path.
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  constexpr uint64_t Rebase = 1000000000ull;
+  telemetry::mergeSnapshot(Snapshot, Rebase);
+  EXPECT_EQ(TestCounterA.value(), 5u);
+  EXPECT_EQ(TestHistA.count(), 2u);
+  EXPECT_EQ(TestHistA.sum(), 907u);
+  EXPECT_EQ(TestHistA.max(), 900u);
+  std::vector<telemetry::TimedEvent> Events = telemetry::events();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Path, "child/work");
+  // The foreign timeline is re-based so its earliest event lands at the
+  // requested instant, and the foreign pid is preserved.
+  EXPECT_EQ(Events[0].StartNs, Rebase);
+  EXPECT_EQ(Events[0].Pid, telemetry::processId());
+
+  // Merging is additive: a second apply doubles counts but not max.
+  telemetry::mergeSnapshot(Snapshot, Rebase);
+  EXPECT_EQ(TestCounterA.value(), 10u);
+  EXPECT_EQ(TestHistA.count(), 4u);
+  EXPECT_EQ(TestHistA.max(), 900u);
+}
+
+TEST_F(TelemetryTest, MergeSnapshotDropsUnknownNamesAndMergesEventsOnlyWhenEnabled) {
+  json::Value Snapshot = json::Value::object();
+  json::Value Counters = json::Value::object();
+  Counters.set("NoSuchCounterEver", 9);
+  Counters.set("TestCounterB", 3);
+  Snapshot.set("counters", std::move(Counters));
+  json::Value Hists = json::Value::object();
+  Hists.set("NoSuchHistEver", json::Value::object());
+  Snapshot.set("histograms", std::move(Hists));
+  json::Value Evs = json::Value::array();
+  json::Value EV = json::Value::object();
+  EV.set("path", "ghost");
+  EV.set("start_ns", 5);
+  EV.set("dur_ns", 1);
+  Evs.push(std::move(EV));
+  Snapshot.set("events", std::move(Evs));
+
+  telemetry::setEnabled(false);
+  telemetry::mergeSnapshot(Snapshot, 0);
+  EXPECT_EQ(TestCounterB.value(), 3u); // known name merged
+  EXPECT_TRUE(telemetry::events().empty()); // tracing off: events dropped
+
+  telemetry::setEnabled(true);
+  telemetry::mergeSnapshot(Snapshot, 0);
+  EXPECT_EQ(telemetry::events().size(), 1u);
+}
+
+TEST_F(TelemetryTest, PrometheusExpositionShape) {
+  TestCounterA += 5;
+  TestHistA.record(0);
+  TestHistA.record(3);
+  TestHistA.record(3000000000ull); // 3s
+  std::ostringstream OS;
+  telemetry::writePrometheus(OS);
+  std::string Text = OS.str();
+
+  EXPECT_NE(Text.find("# TYPE pira_TestCounterA_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pira_TestCounterA_total 5\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE pira_TestHistA_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: the 0-bound bucket holds the zero sample,
+  // +Inf holds everything.
+  EXPECT_NE(Text.find("pira_TestHistA_seconds_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pira_TestHistA_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pira_TestHistA_seconds_count 3\n"), std::string::npos);
+  // OpenMetrics terminator, exactly at the end.
+  ASSERT_GE(Text.size(), 6u);
+  EXPECT_EQ(Text.substr(Text.size() - 6), "# EOF\n");
+}
+
+TEST_F(TelemetryTest, StatsReportCarriesProvenanceAndHistograms) {
+  TestHistA.record(42);
+  Function F = dotProduct(4);
+  MachineModel M = MachineModel::rs6000(8);
+  PipelineResult R = runAndMeasure(StrategyKind::Combined, F, M);
+  ASSERT_TRUE(R.Success) << R.Error;
+  json::Value Report = makeStatsReport(R, "combined", M);
+
+  const json::Value *Prov = Report.find("provenance");
+  ASSERT_NE(Prov, nullptr);
+  EXPECT_EQ(Prov->find("tool")->asString(), "pirac");
+  EXPECT_EQ(Prov->find("tool_version")->asString(), PiraVersionString);
+  for (const char *Key : {"git_sha", "compiler", "build_type", "ndebug"})
+    EXPECT_TRUE(Prov->has(Key)) << "missing provenance field " << Key;
+
+  const json::Value *Hists = Report.find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  const json::Value *HV = Hists->find("TestHistA");
+  ASSERT_NE(HV, nullptr);
+  EXPECT_EQ(HV->find("count")->asInt(), 1);
+  EXPECT_EQ(HV->find("sum_ns")->asInt(), 42);
+  for (const char *Key : {"description", "max_ns", "p50_ns", "p90_ns",
+                          "p99_ns", "buckets"})
+    EXPECT_TRUE(HV->has(Key)) << "missing histogram field " << Key;
 }
 
 TEST_F(TelemetryTest, StatsReportRoundTripsThroughParser) {
