@@ -28,6 +28,7 @@
 #include "pipeline/Batch.h"
 #include "pipeline/Cache.h"
 #include "pipeline/Strategies.h"
+#include "pipeline/Tournament.h"
 #include "regalloc/ChaitinAllocator.h"
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/SpillCost.h"
@@ -154,6 +155,24 @@ void BM_CombinedPipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_CombinedPipeline)->Arg(32)->Arg(128);
+
+void BM_Oracle(benchmark::State &State) {
+  // The exact branch-and-bound search on a tournament-corpus block.
+  // Guarded to the small single blocks inside the oracle's envelope —
+  // search cost is exponential in principle, so this stays out of the
+  // CI perf gate (wildly machine-sensitive) and exists to track the
+  // pruning machinery's trajectory offline.
+  TournamentOptions TOpts;
+  std::vector<BatchItem> Corpus = makeTournamentCorpus(
+      1, static_cast<unsigned>(State.range(0)), pira::bench::benchSeed(4242),
+      TOpts);
+  MachineModel M = MachineModel::paperTwoUnit(8);
+  for (auto _ : State) {
+    PipelineResult R = runStrategy(StrategyKind::Oracle, Corpus[0].Input, M);
+    benchmark::DoNotOptimize(R.StaticCycles);
+  }
+}
+BENCHMARK(BM_Oracle)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_CompileBatch(benchmark::State &State) {
   // 24 functions through the combined pipeline, sharded across

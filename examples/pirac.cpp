@@ -26,10 +26,13 @@
 // nonzero at the end if anything went wrong along the way.
 //
 // Usage: pirac [file.pir ...]
-//          [--strategy alloc-first|sched-first|ips|combined|spill-all]
+//          [--strategy alloc-first|sched-first|ips|combined|spill-all|oracle]
 //          [--machine scalar|paper|mips|rs6000|vliw4]
 //          [--machine-file desc.mach] [--regs N] [--jobs N]
 //          [--deadline-ms N] [--max-instructions N] [--max-blocks N]
+//          [--oracle-max-insts N] [--oracle-node-budget N]
+//          [--tournament] [--corpus-count N] [--corpus-insts N]
+//          [--corpus-seed N]
 //          [--no-degrade] [--fault-inject site:n[,site:n...]]
 //          [--cache off|on|verify] [--cache-dir DIR]
 //          [--isolate] [--retries N] [--retry-backoff-ms N]
@@ -50,6 +53,20 @@
 // stderr so the machine-readable stream stays clean. --progress draws a
 // rate-limited, TTY-aware live status line on stderr while a batch
 // runs. --version prints the build-provenance line and exits.
+//
+// --strategy oracle runs the exact branch-and-bound search
+// (pipeline/Oracle.h) — provably minimum-makespan spill-free code for
+// small single blocks; --oracle-max-insts and --oracle-node-budget set
+// its scope cap and search budget. Out-of-scope or over-budget inputs
+// fail with a search-exhausted diagnostic and (in batch mode) degrade
+// down the ladder like any other rung failure.
+//
+// --tournament runs the heuristic-gap tournament instead of a compile:
+// every strategy compiles every corpus function and the aggregate
+// gap-vs-oracle table is printed (pipeline/Tournament.h). The corpus is
+// generated (--corpus-count/--corpus-insts/--corpus-seed) unless input
+// files are given, which then form the corpus. --stats-out emits the
+// "pira.tournament" v1 report, byte-identical across --jobs values.
 //
 // --fault-inject (or the PIRA_FAULT environment variable) arms the
 // deterministic fault-injection harness; see support/FaultInjection.h
@@ -102,6 +119,7 @@
 #include "pipeline/Journal.h"
 #include "pipeline/Report.h"
 #include "pipeline/Strategies.h"
+#include "pipeline/Tournament.h"
 #include "pipeline/Worker.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
@@ -206,6 +224,11 @@ int main(int argc, char **argv) {
   uint64_t ChildMemMB = 0;
   std::string JournalPath;
   bool Resume = false;
+  OracleOptions OracleOpts;
+  bool Tournament = false;
+  uint64_t CorpusCount = 200;
+  uint64_t CorpusInsts = 12;
+  uint64_t CorpusSeed = 7;
 
   // Inputs that never reach compilation: unreadable files, parse and
   // verify failures. They are reported per file, carried into the stats
@@ -349,6 +372,36 @@ int main(int argc, char **argv) {
       BatchMode = true;
     } else if (Arg == "--resume") {
       Resume = true;
+    } else if (Arg == "--oracle-max-insts") {
+      std::string V;
+      uint64_t N = 0;
+      // 64 is the oracle's hard representation cap (one bit per
+      // instruction in the search mask).
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 64, N))
+        return 2;
+      OracleOpts.MaxInstructions = static_cast<unsigned>(N);
+    } else if (Arg == "--oracle-node-budget") {
+      std::string V;
+      // 0 stays meaningful: "search without a node budget".
+      if (!NextValue(V) ||
+          !parseCliCount(Arg, V, 0, UINT64_MAX, OracleOpts.NodeBudget))
+        return 2;
+    } else if (Arg == "--tournament") {
+      Tournament = true;
+    } else if (Arg == "--corpus-count") {
+      std::string V;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1000000, CorpusCount))
+        return 2;
+    } else if (Arg == "--corpus-insts") {
+      std::string V;
+      // At least roots + one body op + ret; capped at the oracle's
+      // representation limit so a generated corpus stays comparable.
+      if (!NextValue(V) || !parseCliCount(Arg, V, 3, 64, CorpusInsts))
+        return 2;
+    } else if (Arg == "--corpus-seed") {
+      std::string V;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, UINT64_MAX, CorpusSeed))
+        return 2;
     } else if (Arg == "--no-degrade") {
       NoDegrade = true;
     } else if (Arg == "--fault-inject") {
@@ -430,7 +483,7 @@ int main(int argc, char **argv) {
   // With stdout claimed by a report, the human-readable output moves to
   // stderr so the machine-readable stream stays parseable.
   std::ostream &Hum = StdoutWriters != 0 ? std::cerr : std::cout;
-  if (Inputs.empty() && InputFailures.empty())
+  if (Inputs.empty() && InputFailures.empty() && !Tournament)
     Inputs.emplace_back("<sample>", SampleProgram);
   if (Inputs.size() + InputFailures.size() > 1)
     BatchMode = true;
@@ -458,6 +511,56 @@ int main(int argc, char **argv) {
     Batch.push_back({Name, F.take()});
   }
 
+  if (Tournament) {
+    if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
+      telemetry::setEnabled(true);
+    TournamentOptions TOpts;
+    TOpts.Jobs = Jobs;
+    TOpts.Budget = Budget;
+    TOpts.Oracle = OracleOpts;
+    std::vector<BatchItem> Corpus;
+    if (Batch.empty()) {
+      Corpus = makeTournamentCorpus(static_cast<unsigned>(CorpusCount),
+                                    static_cast<unsigned>(CorpusInsts),
+                                    CorpusSeed, TOpts);
+    } else {
+      Corpus = std::move(Batch);
+      TOpts.CorpusCount = static_cast<unsigned>(Corpus.size());
+    }
+    json::Value Report = runTournament(Corpus, Machine, TOpts);
+    printTournamentSummary(Report, Hum);
+
+    bool ReportsOk = true;
+    std::string ReportError;
+    if (!TraceOut.empty() &&
+        !telemetry::writeChromeTraceFile(TraceOut, ReportError)) {
+      std::cerr << "trace-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (!StatsOut.empty() && !writeJsonFile(Report, StatsOut, ReportError)) {
+      std::cerr << "stats-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (!MetricsOut.empty() &&
+        !telemetry::writeMetricsFile(MetricsOut, ReportError)) {
+      std::cerr << "metrics-out: " << ReportError << '\n';
+      ReportsOk = false;
+    }
+    if (TimePasses)
+      telemetry::printTimerReport(std::cerr);
+    if (!ReportsOk)
+      return 3;
+    // A heuristic "beating" the provably optimal baseline means the
+    // oracle (or a heuristic's reported cost) is wrong — surface that
+    // as a failure even when nobody inspects the report.
+    uint64_t BeatsOracle = 0;
+    if (const json::Value *Agg = Report.find("aggregate"))
+      for (const json::Value &Row : Agg->elements())
+        if (const json::Value *B = Row.find("beats_oracle"))
+          BeatsOracle += static_cast<uint64_t>(B->asInt());
+    return (BeatsOracle == 0 && InputFailures.empty()) ? 0 : 1;
+  }
+
   if (BatchMode) {
     if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
       telemetry::setEnabled(true);
@@ -466,6 +569,7 @@ int main(int argc, char **argv) {
       Cache.emplace(CacheModeFlag, CacheDir);
     BatchOptions Opts;
     Opts.Strategy = Strategy;
+    Opts.Oracle = OracleOpts;
     Opts.Jobs = Jobs;
     Opts.Budget = Budget;
     Opts.Degrade = !NoDegrade;
@@ -632,6 +736,7 @@ int main(int argc, char **argv) {
   // fires — handy for exercising one site in isolation.
   BatchOptions GuardOpts;
   GuardOpts.Strategy = Strategy;
+  GuardOpts.Oracle = OracleOpts;
   GuardOpts.Budget = Budget;
   GuardOpts.Degrade = !NoDegrade;
   GuardedResult G = compileFunctionGuarded(F, Machine, GuardOpts);

@@ -77,8 +77,9 @@ static PipelineResult runRungGuarded(StrategyKind Kind, const Function &Input,
   try {
     deadline::ScopedDeadline Watchdog(Opts.Budget.DeadlineMs);
     R = Opts.Measure
-            ? runAndMeasure(Kind, Input, Machine, Opts.Pinter, Opts.Seed)
-            : runStrategy(Kind, Input, Machine, Opts.Pinter);
+            ? runAndMeasure(Kind, Input, Machine, Opts.Pinter, Opts.Seed,
+                            Opts.Oracle)
+            : runStrategy(Kind, Input, Machine, Opts.Pinter, Opts.Oracle);
   } catch (const faultinject::FaultInjectedError &E) {
     ++NumCapturedTaskExceptions;
     failResult(R, Status::error(ErrorCode::FaultInjected, "guard", E.what()));

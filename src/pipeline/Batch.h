@@ -96,6 +96,7 @@ struct ResourceBudget {
 struct BatchOptions {
   StrategyKind Strategy = StrategyKind::Combined;
   PinterOptions Pinter;       ///< Tunes the Combined strategy only.
+  OracleOptions Oracle;       ///< Tunes the Oracle strategy only.
   /// Worker threads; 0 means ThreadPool::defaultJobCount() (PIRA_JOBS or
   /// the hardware concurrency). 1 compiles inline with no pool at all,
   /// which doubles as the serial reference for determinism checks.

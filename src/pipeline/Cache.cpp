@@ -115,6 +115,9 @@ std::string pira::computeCacheKey(const Function &Input,
   Field("pinter.pre-schedule", Opts.Pinter.PreSchedule ? "1" : "0");
   Field("pinter.use-regions", Opts.Pinter.UseRegions ? "1" : "0");
   Field("pinter.max-rounds", std::to_string(Opts.Pinter.MaxRounds));
+  Field("oracle.max-instructions",
+        std::to_string(Opts.Oracle.MaxInstructions));
+  Field("oracle.node-budget", std::to_string(Opts.Oracle.NodeBudget));
   Field("budget.max-instructions",
         std::to_string(Opts.Budget.MaxInstructions));
   Field("budget.max-blocks", std::to_string(Opts.Budget.MaxBlocks));

@@ -21,6 +21,7 @@
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <iterator>
 #include <numeric>
 #include <set>
 
@@ -29,56 +30,84 @@ using namespace pira;
 PIRA_STAT(NumPipelineRuns, "Strategy pipelines started");
 PIRA_STAT(NumPipelineFailures, "Strategy pipelines that did not succeed");
 
+namespace {
+
+/// The single source of truth for strategy naming: display name, an
+/// optional accepted alias, and the telemetry scope label. strategyName,
+/// strategyFromName (including its valid-names error text), and
+/// allStrategies all read this table, so none of them can drift when a
+/// strategy is added — the historical failure mode was an error message
+/// that never learned about "spill-all".
+struct StrategyNameRow {
+  StrategyKind Kind;
+  const char *Name;
+  const char *Alias; ///< nullptr when the canonical name is the only one.
+  const char *ScopeLabel;
+};
+
+constexpr StrategyNameRow StrategyNameTable[] = {
+    {StrategyKind::AllocFirst, "alloc-first", nullptr,
+     "strategy/alloc-first"},
+    {StrategyKind::SchedFirst, "sched-first", nullptr,
+     "strategy/sched-first"},
+    {StrategyKind::IntegratedPrepass, "goodman-hsu-ips", "ips",
+     "strategy/goodman-hsu-ips"},
+    {StrategyKind::Combined, "combined", nullptr, "strategy/combined"},
+    {StrategyKind::SpillAll, "spill-all", nullptr, "strategy/spill-all"},
+    {StrategyKind::Oracle, "oracle", nullptr, "strategy/oracle"},
+};
+
+} // namespace
+
 const char *pira::strategyName(StrategyKind Kind) {
-  switch (Kind) {
-  case StrategyKind::AllocFirst:
-    return "alloc-first";
-  case StrategyKind::SchedFirst:
-    return "sched-first";
-  case StrategyKind::IntegratedPrepass:
-    return "goodman-hsu-ips";
-  case StrategyKind::Combined:
-    return "combined";
-  case StrategyKind::SpillAll:
-    return "spill-all";
-  }
+  for (const StrategyNameRow &Row : StrategyNameTable)
+    if (Row.Kind == Kind)
+      return Row.Name;
   // Out-of-range enum values reach here (e.g. a bad cast); naming them
   // beats the undefined behaviour an assert leaves in release builds.
   return "unknown";
 }
 
 Expected<StrategyKind> pira::strategyFromName(std::string_view Name) {
-  if (Name == "alloc-first")
-    return StrategyKind::AllocFirst;
-  if (Name == "sched-first")
-    return StrategyKind::SchedFirst;
-  if (Name == "ips" || Name == "goodman-hsu-ips")
-    return StrategyKind::IntegratedPrepass;
-  if (Name == "combined")
-    return StrategyKind::Combined;
-  if (Name == "spill-all")
-    return StrategyKind::SpillAll;
+  std::string Valid;
+  for (const StrategyNameRow &Row : StrategyNameTable) {
+    if (Name == Row.Name || (Row.Alias != nullptr && Name == Row.Alias))
+      return Row.Kind;
+    if (!Valid.empty())
+      Valid += &Row == &StrategyNameTable[std::size(StrategyNameTable) - 1]
+                   ? ", or "
+                   : ", ";
+    Valid += Row.Name;
+    if (Row.Alias != nullptr)
+      Valid += std::string(" (alias ") + Row.Alias + ")";
+  }
   return Status::error(ErrorCode::InvalidArgument, "strategy",
                        "unknown strategy '" + std::string(Name) +
-                           "' (expected alloc-first, sched-first, ips, "
-                           "combined, or spill-all)");
+                           "' (expected " + Valid + ")");
+}
+
+const std::vector<StrategyKind> &pira::allStrategies() {
+  static const std::vector<StrategyKind> All = [] {
+    // Oracle first (the tournament baseline), then the heuristics from
+    // most to least integrated, the safety net last.
+    std::vector<StrategyKind> V = {
+        StrategyKind::Oracle,     StrategyKind::Combined,
+        StrategyKind::IntegratedPrepass, StrategyKind::SchedFirst,
+        StrategyKind::AllocFirst, StrategyKind::SpillAll,
+    };
+    assert(V.size() == std::size(StrategyNameTable) &&
+           "allStrategies out of sync with the name table");
+    return V;
+  }();
+  return All;
 }
 
 /// Timer label for one strategy (PIRA_TIME_SCOPE needs a literal with
 /// static lifetime).
 static const char *strategyScopeName(StrategyKind Kind) {
-  switch (Kind) {
-  case StrategyKind::AllocFirst:
-    return "strategy/alloc-first";
-  case StrategyKind::SchedFirst:
-    return "strategy/sched-first";
-  case StrategyKind::IntegratedPrepass:
-    return "strategy/goodman-hsu-ips";
-  case StrategyKind::Combined:
-    return "strategy/combined";
-  case StrategyKind::SpillAll:
-    return "strategy/spill-all";
-  }
+  for (const StrategyNameRow &Row : StrategyNameTable)
+    if (Row.Kind == Kind)
+      return Row.ScopeLabel;
   return "strategy/unknown";
 }
 
@@ -95,8 +124,11 @@ static void fail(PipelineResult &R, ErrorCode Code, std::string Phase,
 /// verify structure. A verification failure here leaves the dynamic
 /// fields at their defaults, so the error spells out that the run died
 /// before simulation — a JSON report must never show Success == false
-/// with an empty (or misleading) Error.
-static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
+/// with an empty (or misleading) Error. \p KeepSchedule preserves a
+/// schedule the strategy already computed (the oracle's proven-optimal
+/// cycle assignment must not be replaced by the list scheduler's).
+static void finishPipeline(PipelineResult &R, const MachineModel &Machine,
+                           bool KeepSchedule = false) {
   std::string VerifyError;
   {
     PIRA_TIME_SCOPE("verify/final");
@@ -115,7 +147,8 @@ static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
   }
   faultinject::maybeThrow("sched.final");
   deadline::checkpoint();
-  R.Sched = scheduleFunction(R.Final, Machine);
+  if (!KeepSchedule)
+    R.Sched = scheduleFunction(R.Final, Machine);
   R.StaticCycles = R.Sched.totalMakespan();
   {
     PIRA_TIME_SCOPE("analysis/falsedeps");
@@ -128,7 +161,8 @@ static void finishPipeline(PipelineResult &R, const MachineModel &Machine) {
 
 PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
                                  const MachineModel &Machine,
-                                 const PinterOptions &Opts) {
+                                 const PinterOptions &Opts,
+                                 const OracleOptions &OOpts) {
   PIRA_TIME_SCOPE(strategyScopeName(Kind));
   ++NumPipelineRuns;
   PipelineResult R;
@@ -215,6 +249,25 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
     R.ParallelEdgesDropped = Stats.ParallelEdgesDropped;
     break;
   }
+  case StrategyKind::Oracle: {
+    // The exact search does scheduling and allocation in one piece and
+    // returns a proven-optimal cycle assignment; the shared tail must
+    // keep that schedule rather than re-run the list scheduler.
+    Status S = oracleCompile(Input, Machine, OOpts, R);
+    if (!S.ok()) {
+      R.Success = false;
+      R.Error = S.message();
+      R.Diag = std::move(S);
+      ++NumPipelineFailures;
+      return R;
+    }
+    R.Success = true;
+    deadline::checkpoint();
+    finishPipeline(R, Machine, /*KeepSchedule=*/true);
+    if (!R.Success)
+      ++NumPipelineFailures;
+    return R;
+  }
   case StrategyKind::SpillAll: {
     // The safety net: send every web to memory, then color the residue
     // of short reload/store ranges. Lives entirely in spill code, so it
@@ -256,9 +309,9 @@ PipelineResult pira::runStrategy(StrategyKind Kind, const Function &Input,
 
 PipelineResult pira::runAndMeasure(StrategyKind Kind, const Function &Input,
                                    const MachineModel &Machine,
-                                   const PinterOptions &Opts,
-                                   uint64_t Seed) {
-  PipelineResult R = runStrategy(Kind, Input, Machine, Opts);
+                                   const PinterOptions &Opts, uint64_t Seed,
+                                   const OracleOptions &OOpts) {
+  PipelineResult R = runStrategy(Kind, Input, Machine, Opts, OOpts);
   if (!R.Success)
     return R;
 

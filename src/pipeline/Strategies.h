@@ -25,6 +25,11 @@
 ///     trivial coloring. Slow code, but verifier-clean on inputs that
 ///     defeat every real allocator — the bottom rung of the batch
 ///     driver's degradation ladder.
+///   * Oracle — the exact branch-and-bound search over the joint
+///     schedule + allocation space (pipeline/Oracle.h): provably minimum
+///     makespan among spill-free schedules for small single blocks, the
+///     ground truth of the heuristic-gap tournament. Blows up (or goes
+///     out of scope) with SearchExhausted and falls down the ladder.
 ///
 /// Every strategy reports the same statistics so benches can print them
 /// side by side, and validates semantics against the sequential
@@ -38,12 +43,14 @@
 
 #include "core/PinterAllocator.h"
 #include "ir/Function.h"
+#include "pipeline/Oracle.h"
 #include "sched/Schedule.h"
 #include "support/Status.h"
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pira {
 
@@ -56,6 +63,7 @@ enum class StrategyKind {
   IntegratedPrepass,
   Combined,
   SpillAll,
+  Oracle,
 };
 
 /// Returns a short printable name ("alloc-first", ...). Out-of-range
@@ -64,9 +72,16 @@ enum class StrategyKind {
 const char *strategyName(StrategyKind Kind);
 
 /// Parses a strategy name ("alloc-first", "sched-first", "ips" or
-/// "goodman-hsu-ips", "combined", "spill-all"). Unknown names produce an
-/// InvalidArgument Status listing the accepted spellings.
+/// "goodman-hsu-ips", "combined", "spill-all", "oracle"). Unknown names
+/// produce an InvalidArgument Status listing the accepted spellings; the
+/// list is generated from the same table strategyName reads, so the two
+/// cannot drift apart.
 Expected<StrategyKind> strategyFromName(std::string_view Name);
+
+/// Every strategy, in a stable display order (the oracle first — the
+/// tournament's baseline — then the heuristics from most to least
+/// integrated). Backed by the same table as strategyName.
+const std::vector<StrategyKind> &allStrategies();
 
 /// Everything a strategy run produces.
 struct PipelineResult {
@@ -93,13 +108,15 @@ struct PipelineResult {
 };
 
 /// Runs \p Kind on a copy of \p Input for \p Machine (whose register file
-/// bounds the allocator). \p Opts tunes the Combined strategy only.
+/// bounds the allocator). \p Opts tunes the Combined strategy only;
+/// \p OOpts tunes the Oracle strategy only.
 /// May throw faultinject::FaultInjectedError (armed throw-sites) or
 /// deadline::DeadlineExceededError (armed watchdog deadline); the batch
 /// driver's guard turns both into per-function diagnostics.
 PipelineResult runStrategy(StrategyKind Kind, const Function &Input,
                            const MachineModel &Machine,
-                           const PinterOptions &Opts = {});
+                           const PinterOptions &Opts = {},
+                           const OracleOptions &OOpts = {});
 
 /// Runs the strategy, then simulates the result against the sequential
 /// interpretation of \p Input (initial state seeded with \p Seed),
@@ -107,7 +124,8 @@ PipelineResult runStrategy(StrategyKind Kind, const Function &Input,
 PipelineResult runAndMeasure(StrategyKind Kind, const Function &Input,
                              const MachineModel &Machine,
                              const PinterOptions &Opts = {},
-                             uint64_t Seed = 42);
+                             uint64_t Seed = 42,
+                             const OracleOptions &OOpts = {});
 
 } // namespace pira
 

@@ -44,6 +44,12 @@ json::Value pira::encodeWorkerJob(const std::string &IRText,
   Budget.set("max_blocks", Opts.Budget.MaxBlocks);
   Budget.set("deadline_ms", Opts.Budget.DeadlineMs);
   Job.set("budget", std::move(Budget));
+  // v3: the exact strategy's envelope rides along so an isolated oracle
+  // rung behaves exactly like an in-process one.
+  json::Value Oracle = json::Value::object();
+  Oracle.set("max_instructions", Opts.Oracle.MaxInstructions);
+  Oracle.set("node_budget", Opts.Oracle.NodeBudget);
+  Job.set("oracle", std::move(Oracle));
   Job.set("measure", Opts.Measure);
   Job.set("seed", Opts.Seed);
   Job.set("degrade", Opts.Degrade);
@@ -249,10 +255,15 @@ int pira::runWorkerMode(std::istream &In, std::ostream &Out,
   }
   Opts.Strategy = *Kind;
   uint64_t MaxRounds = Opts.Pinter.MaxRounds;
+  uint64_t OracleMaxInsts = Opts.Oracle.MaxInstructions;
   const json::Value *Pinter = member(Job, "pinter");
   const json::Value *Budget = member(Job, "budget");
+  const json::Value *Oracle = member(Job, "oracle");
   const json::Value *Fault = member(Job, "fault");
-  if (Pinter == nullptr || Budget == nullptr || Fault == nullptr ||
+  if (Pinter == nullptr || Budget == nullptr || Oracle == nullptr ||
+      Fault == nullptr ||
+      !readU64(*Oracle, "max_instructions", OracleMaxInsts) ||
+      !readU64(*Oracle, "node_budget", Opts.Oracle.NodeBudget) ||
       !readDouble(*Pinter, "interference_weight",
                   Opts.Pinter.InterferenceWeight) ||
       !readDouble(*Pinter, "parallel_weight", Opts.Pinter.ParallelWeight) ||
@@ -269,6 +280,7 @@ int pira::runWorkerMode(std::istream &In, std::ostream &Out,
     return 3;
   }
   Opts.Pinter.MaxRounds = static_cast<unsigned>(MaxRounds);
+  Opts.Oracle.MaxInstructions = static_cast<unsigned>(OracleMaxInsts);
 
   std::string FaultSpec;
   uint64_t FaultKey = 0;

@@ -55,7 +55,9 @@ namespace pira {
 /// Schema constants for both protocol documents.
 inline constexpr const char *WorkerJobSchemaName = "pira.job";
 inline constexpr const char *WorkerResultSchemaName = "pira.result";
-inline constexpr int WorkerProtocolVersion = 2;
+/// v3 added the "oracle" options block (max_instructions, node_budget)
+/// so the exact strategy's envelope survives the parent -> child hop.
+inline constexpr int WorkerProtocolVersion = 3;
 
 /// One compile job as the parent ships it: \p IRText and \p MachineText
 /// are the canonical printed forms (the child re-parses them), \p Opts

@@ -37,6 +37,8 @@ const char *pira::errorCodeName(ErrorCode Code) {
     return "child-killed";
   case ErrorCode::ChildTimeout:
     return "child-timeout";
+  case ErrorCode::SearchExhausted:
+    return "search-exhausted";
   case ErrorCode::Internal:
     return "internal";
   }
@@ -51,7 +53,8 @@ ErrorCode pira::errorCodeFromName(std::string_view Name) {
       ErrorCode::SemanticsDiverged, ErrorCode::ResourceExhausted,
       ErrorCode::DeadlineExceeded,  ErrorCode::FaultInjected,
       ErrorCode::ChildCrashed, ErrorCode::ChildKilled,
-      ErrorCode::ChildTimeout, ErrorCode::Internal,
+      ErrorCode::ChildTimeout, ErrorCode::SearchExhausted,
+      ErrorCode::Internal,
   };
   for (ErrorCode C : All)
     if (Name == errorCodeName(C))

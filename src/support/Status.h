@@ -54,6 +54,11 @@ enum class ErrorCode {
   ChildCrashed,      ///< Sandboxed worker died on a crash signal.
   ChildKilled,       ///< Sandboxed worker killed (OOM kill, rlimit, external).
   ChildTimeout,      ///< Sandboxed worker exceeded its wall/CPU budget.
+  SearchExhausted,   ///< Exact search gave up (outside scope or over its
+                     ///< node budget) without proving anything; unlike
+                     ///< ResourceExhausted this is *not* fatal to the
+                     ///< degradation ladder — a heuristic rung may still
+                     ///< succeed where exhaustive search cannot finish.
   Internal,          ///< Unexpected exception or invariant violation.
 };
 
