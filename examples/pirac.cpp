@@ -38,6 +38,8 @@
 //          [--isolate] [--retries N] [--retry-backoff-ms N]
 //          [--child-timeout-ms N] [--child-mem-mb N]
 //          [--journal FILE] [--resume]
+//          [--client] [--socket PATH] [--tcp PORT] [--client-retries N]
+//          [--client-backoff-ms N] [--client-verbose] [--daemon-stats]
 //          [--dump-graphs]
 //          [--trace-out trace.json] [--stats-out stats.json]
 //          [--metrics-out metrics.prom] [--progress]
@@ -94,6 +96,20 @@
 // with kill -9 — reproduces the uninterrupted run's report (modulo
 // "timers"/"counters") on the second invocation.
 //
+// `pirac serve --socket PATH [--tcp PORT]` runs the crash-tolerant
+// compile daemon (service/Server.h): concurrent clients, a permanently
+// warm compilation cache, bounded-queue admission with structured
+// overload shedding, per-client budgets, server-enforced deadlines,
+// SIGTERM graceful drain (exit 0) vs SIGINT fast abort (exit 130).
+// `pirac --client --socket PATH file.pir ...` runs a batch against the
+// daemon instead of in-process; the client reconnects with bounded
+// doubling backoff, so killing and restarting the daemon mid-batch is
+// invisible. The remote report is byte-identical to the in-process one
+// (modulo the usual volatile sections). --daemon-stats prints the
+// daemon's pira.serve-stats document and exits. --client rejects
+// --isolate/--journal/--cache/--fault-inject: those are daemon-side
+// (or process-global) concerns.
+//
 // Exit codes are a stable contract: 0 = everything compiled and
 // verified clean; 1 = at least one input or compile/verify failure
 // (including cache-verify mismatches); 2 = usage errors (bad flag,
@@ -121,11 +137,15 @@
 #include "pipeline/Strategies.h"
 #include "pipeline/Tournament.h"
 #include "pipeline/Worker.h"
+#include "service/Client.h"
+#include "service/Server.h"
 #include "support/FaultInjection.h"
+#include "support/Io.h"
 #include "support/Subprocess.h"
 #include "support/Telemetry.h"
 
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -192,12 +212,154 @@ static bool parseCliCount(const std::string &Flag, const std::string &Text,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// pirac serve
+//===----------------------------------------------------------------------===//
+
+// The signal handlers may only touch async-signal-safe state; both
+// Server entry points are one self-pipe write.
+static service::Server *ActiveServer = nullptr;
+static void onSigterm(int) {
+  if (ActiveServer != nullptr)
+    ActiveServer->requestDrain();
+}
+static void onSigint(int) {
+  if (ActiveServer != nullptr)
+    ActiveServer->requestAbort();
+}
+
+/// `pirac serve --socket PATH [--tcp PORT] ...`: the compile daemon.
+/// SIGTERM drains gracefully (exit 0), SIGINT aborts fast (exit 130);
+/// --stats-out flushes the pira.serve-stats document on the way out.
+static int runServeMode(int argc, char **argv) {
+  service::ServerOptions Opts;
+  std::string StatsOut;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&](std::string &Out) -> bool {
+      if (I + 1 >= argc) {
+        std::cerr << "pirac serve: missing value for " << Arg << '\n';
+        return false;
+      }
+      Out = argv[++I];
+      return true;
+    };
+    std::string V;
+    uint64_t N = 0;
+    if (Arg == "--socket") {
+      if (!NextValue(Opts.SocketPath))
+        return 2;
+    } else if (Arg == "--tcp") {
+      // 0 stays meaningful: "let the kernel pick" (announced on stderr).
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 65535, N))
+        return 2;
+      Opts.TcpPort = static_cast<int>(N);
+    } else if (Arg == "--threads") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 4096, N))
+        return 2;
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--queue-depth") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1 << 20, N))
+        return 2;
+      Opts.QueueDepth = static_cast<size_t>(N);
+    } else if (Arg == "--max-clients") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1 << 16, N))
+        return 2;
+      Opts.MaxClients = static_cast<size_t>(N);
+    } else if (Arg == "--client-budget") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1 << 20, N))
+        return 2;
+      Opts.PerClientBudget = N;
+    } else if (Arg == "--max-frame-bytes") {
+      // Floor of 64: the cap must at least admit a minimal envelope.
+      if (!NextValue(V) || !parseCliCount(Arg, V, 64, 1u << 30, N))
+        return 2;
+      Opts.MaxFrameBytes = static_cast<uint32_t>(N);
+    } else if (Arg == "--idle-timeout-ms") {
+      // 0 stays meaningful: "no inactivity timeout".
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 86400000, N))
+        return 2;
+      Opts.IdleTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--drain-timeout-ms") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 86400000, N))
+        return 2;
+      Opts.DrainTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--cache-dir") {
+      if (!NextValue(Opts.CacheDir))
+        return 2;
+    } else if (Arg == "--stats-out") {
+      if (!NextValue(StatsOut))
+        return 2;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::cerr << "pirac serve: unknown option '" << Arg << "'\n";
+      return 2;
+    }
+  }
+  if (Opts.SocketPath.empty() && Opts.TcpPort < 0) {
+    std::cerr << "pirac serve: need --socket PATH and/or --tcp PORT\n";
+    return 2;
+  }
+
+  service::Server Server(Opts);
+  Status B = Server.bind();
+  if (!B.ok()) {
+    std::cerr << "pirac serve: " << B.toString() << '\n';
+    return 3;
+  }
+
+  ActiveServer = &Server;
+  std::signal(SIGTERM, onSigterm);
+  std::signal(SIGINT, onSigint);
+
+  // The readiness line doubles as the address announcement: with
+  // --tcp 0 this is the only place the kernel-assigned port appears.
+  std::cerr << "pirac serve: ready";
+  if (!Opts.SocketPath.empty())
+    std::cerr << " on " << Opts.SocketPath;
+  if (Opts.TcpPort >= 0)
+    std::cerr << (Opts.SocketPath.empty() ? " on" : " and")
+              << " 127.0.0.1:" << Server.tcpPort();
+  std::cerr << std::endl;
+
+  int Rc = Server.run();
+
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  ActiveServer = nullptr;
+
+  json::Value Stats = Server.statsToJson();
+  if (!StatsOut.empty()) {
+    std::string Error;
+    if (!writeJsonFile(Stats, StatsOut, Error)) {
+      std::cerr << "pirac serve: stats-out: " << Error << '\n';
+      return 3;
+    }
+  }
+  const json::Value *Req = Stats.find("requests");
+  std::cerr << "pirac serve: " << (Rc == 0 ? "drained" : "aborted") << " ("
+            << Req->find("total")->asInt() << " request(s), "
+            << Req->find("compiles")->asInt() << " compile(s), "
+            << Req->find("shed")->asInt() << " shed)\n";
+  return Rc;
+}
+
 int main(int argc, char **argv) {
+  // Process-wide, before any descriptor work: a report sink or socket
+  // peer that vanishes must surface as EPIPE on the write (a structured
+  // diagnostic and exit 3), never as silent SIGPIPE death (141).
+  io::ignoreSigpipe();
+
   // The self-exec worker mode comes first: the batch driver spawns
   // `pirac --worker` with one job document on stdin, and nothing else
   // on the command line applies.
   if (argc >= 2 && std::string(argv[1]) == "--worker")
     return runWorkerMode(std::cin, std::cout, std::cerr);
+
+  // The compile daemon is a subcommand with its own flag set.
+  if (argc >= 2 && std::string(argv[1]) == "serve")
+    return runServeMode(argc, argv);
 
   // (name, source) per input; empty after flag parsing means the sample.
   std::vector<std::pair<std::string, std::string>> Inputs;
@@ -224,6 +386,9 @@ int main(int argc, char **argv) {
   uint64_t ChildMemMB = 0;
   std::string JournalPath;
   bool Resume = false;
+  bool UseClient = false;
+  bool DaemonStats = false;
+  service::ClientOptions ClientOpts;
   OracleOptions OracleOpts;
   bool Tournament = false;
   uint64_t CorpusCount = 200;
@@ -372,6 +537,36 @@ int main(int argc, char **argv) {
       BatchMode = true;
     } else if (Arg == "--resume") {
       Resume = true;
+    } else if (Arg == "--client") {
+      UseClient = true;
+      BatchMode = true;
+    } else if (Arg == "--socket") {
+      if (!NextValue(ClientOpts.SocketPath))
+        return 2;
+    } else if (Arg == "--tcp") {
+      std::string V;
+      uint64_t N = 0;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 65535, N))
+        return 2;
+      ClientOpts.TcpPort = static_cast<int>(N);
+    } else if (Arg == "--client-retries") {
+      std::string V;
+      uint64_t N = 0;
+      // Total attempts per request; 1 disables retrying entirely (the
+      // overload CI shard relies on that to surface shed requests).
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1000, N))
+        return 2;
+      ClientOpts.MaxAttempts = static_cast<unsigned>(N);
+    } else if (Arg == "--client-backoff-ms") {
+      std::string V;
+      uint64_t N = 0;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 60000, N))
+        return 2;
+      ClientOpts.RetryBackoffMs = static_cast<unsigned>(N);
+    } else if (Arg == "--client-verbose") {
+      ClientOpts.Verbose = true;
+    } else if (Arg == "--daemon-stats") {
+      DaemonStats = true;
     } else if (Arg == "--oracle-max-insts") {
       std::string V;
       uint64_t N = 0;
@@ -469,6 +664,35 @@ int main(int argc, char **argv) {
   if (Resume && JournalPath.empty()) {
     std::cerr << "pirac: --resume requires --journal FILE\n";
     return 2;
+  }
+  if ((UseClient || DaemonStats) && ClientOpts.SocketPath.empty() &&
+      ClientOpts.TcpPort < 0) {
+    std::cerr << "pirac: --client/--daemon-stats need --socket PATH or "
+                 "--tcp PORT\n";
+    return 2;
+  }
+  if (UseClient &&
+      (Isolate || !JournalPath.empty() || Resume || CacheFlagSeen ||
+       !CacheDir.empty() || !faultinject::currentSpec().empty())) {
+    // The daemon owns isolation, journaling, caching, and (because it
+    // is process-global state) fault injection; a client asking for
+    // them locally would silently change what the daemon computes.
+    std::cerr << "pirac: --client cannot be combined with --isolate, "
+                 "--journal/--resume, --cache/--cache-dir, or "
+                 "--fault-inject\n";
+    return 2;
+  }
+  if (DaemonStats) {
+    service::ServiceClient Client(ClientOpts);
+    Expected<json::Value> S = Client.stats();
+    if (!S) {
+      std::cerr << "pirac: daemon stats: " << S.status().toString() << '\n';
+      return 3;
+    }
+    S->write(std::cout, 0);
+    std::cout << '\n';
+    std::cout.flush();
+    return std::cout ? 0 : 3;
   }
   // At most one machine-readable sink may own stdout; the others must go
   // to real files or the streams would interleave into garbage.
@@ -603,7 +827,9 @@ int main(int argc, char **argv) {
       Opts.Journal = &Journal;
     }
 
-    BatchResult BR = compileBatch(Batch, Machine, Opts);
+    BatchResult BR = UseClient ? service::compileBatchRemote(Batch, Machine,
+                                                             Opts, ClientOpts)
+                               : compileBatch(Batch, Machine, Opts);
     Hum << "; batch of " << Batch.size() << " function(s), "
         << strategyName(Strategy) << " for " << Machine.name() << " ("
         << Machine.numPhysRegs() << " regs), " << BR.JobsUsed

@@ -709,6 +709,16 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
   // Deterministic merge: aggregates walk the results in input order, and
   // every aggregated field came from a computation independent of worker
   // scheduling.
+  finalizeBatchAggregates(R);
+  return R;
+}
+
+void pira::finalizeBatchAggregates(BatchResult &R) {
+  R.Succeeded = R.Failed = R.Degraded = 0;
+  R.Isolated = R.Crashes = R.Timeouts = R.Retries = R.Resumed = 0;
+  R.TotalRegistersUsed = R.TotalSpilledWebs = R.TotalSpillInstructions = 0;
+  R.TotalFalseDeps = R.TotalStaticCycles = 0;
+  R.TotalDynCycles = R.TotalDynInstructions = 0;
   for (size_t I = 0; I != R.Results.size(); ++I) {
     const PipelineResult &P = R.Results[I];
     const IsolationOutcome &Iso = R.Outcomes[I].Isolation;
@@ -734,7 +744,6 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
     R.TotalDynCycles += P.DynCycles;
     R.TotalDynInstructions += P.DynInstructions;
   }
-  return R;
 }
 
 /// Serializes one ladder record ({"requested", "used", "rung",

@@ -12,6 +12,7 @@
 #include "machine/MachineModel.h"
 #include "support/FaultInjection.h"
 #include "support/Hash.h"
+#include "support/Io.h"
 #include "support/Telemetry.h"
 
 #include <cerrno>
@@ -30,6 +31,12 @@ PIRA_STAT(NumJournalAppendFailures,
           "Batch-journal appends that failed to land on disk");
 PIRA_STAT(NumJournalTornRecords,
           "Torn trailing journal data truncated away on resume");
+PIRA_STAT(NumJournalHeaderRestarts,
+          "Resumed journals restarted fresh because the header itself "
+          "was torn (the previous run died mid-header-write)");
+PIRA_STAT(NumJournalEmptyResumes,
+          "Resumed journals found zero-length (created but never "
+          "written) and started fresh");
 
 std::string pira::computeJournalDigest(const std::vector<BatchItem> &Batch,
                                        const MachineModel &Machine,
@@ -86,21 +93,6 @@ Status journalErrno(const std::string &What) {
   return journalError(What + ": " + std::strerror(errno));
 }
 
-/// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
-bool writeAll(int Fd, const std::string &Data) {
-  size_t Off = 0;
-  while (Off < Data.size()) {
-    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    Off += static_cast<size_t>(N);
-  }
-  return true;
-}
-
 /// fsyncs the directory containing \p Path so a freshly created journal
 /// file survives a crash of the file system's in-memory state.
 void syncParentDir(const std::string &Path) {
@@ -145,16 +137,14 @@ Status BatchJournal::open(const std::string &Path, const std::string &Digest,
       std::string Contents;
       char Buf[1 << 16];
       for (;;) {
-        ssize_t N = ::read(ReadFd, Buf, sizeof(Buf));
+        ssize_t N = io::readFull(ReadFd, Buf, sizeof(Buf));
         if (N < 0) {
-          if (errno == EINTR)
-            continue;
           ::close(ReadFd);
           return journalErrno("cannot read journal '" + Path + "'");
         }
-        if (N == 0)
-          break;
         Contents.append(Buf, static_cast<size_t>(N));
+        if (static_cast<size_t>(N) < sizeof(Buf))
+          break; // EOF
       }
 
       // Walk complete lines; the first unparsable or unterminated line
@@ -171,8 +161,15 @@ Status BatchJournal::open(const std::string &Path, const std::string &Digest,
             Contents.substr(LineStart, Newline - LineStart);
         json::Value Doc;
         std::string Error;
-        if (!json::parse(Line, Doc, Error))
-          break; // torn or garbage tail: truncate from here
+        if (!json::parse(Line, Doc, Error)) {
+          // A *complete* (newline-terminated) first line that is not
+          // JSON means this file never was a pira.journal; refuse to
+          // truncate-and-recreate over someone else's data. Later lines
+          // are the ordinary torn/garbage tail.
+          if (!SawHeader)
+            Bad = journalError("'" + Path + "' is not a pira.journal file");
+          break;
+        }
         if (!SawHeader) {
           const json::Value *Schema = Doc.find("schema");
           const json::Value *Version = Doc.find("version");
@@ -239,8 +236,17 @@ Status BatchJournal::open(const std::string &Path, const std::string &Digest,
         Fd = ReadFd;
         return Status();
       }
-      // File existed but held nothing usable (empty or torn header):
-      // start it over below.
+      // File existed but held no usable header. Two innocent shapes
+      // reach here — a zero-length file (the previous run died between
+      // create and header write) and a torn header line with no newline
+      // (it died mid-write) — and each gets its own counter so a resume
+      // that silently recompiles everything is explainable afterwards.
+      // Anything else (a complete non-header first line) was refused
+      // above rather than destroyed.
+      if (Contents.empty())
+        ++NumJournalEmptyResumes;
+      else
+        ++NumJournalHeaderRestarts;
       ::close(ReadFd);
     }
   }
@@ -249,7 +255,8 @@ Status BatchJournal::open(const std::string &Path, const std::string &Digest,
       ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (NewFd < 0)
     return journalErrno("cannot create journal '" + Path + "'");
-  if (!writeAll(NewFd, HeaderLine) || ::fsync(NewFd) != 0) {
+  if (!io::writeFull(NewFd, HeaderLine.data(), HeaderLine.size()) ||
+      ::fsync(NewFd) != 0) {
     Status S = journalErrno("cannot write journal header to '" + Path + "'");
     ::close(NewFd);
     return S;
@@ -295,7 +302,7 @@ Status BatchJournal::append(size_t Position, const std::string &Name,
   // One write per record keeps concurrent appends on record boundaries;
   // the fsync makes the record durable before the batch moves on, which
   // is the whole point of journaling.
-  if (!writeAll(Fd, Line) || ::fsync(Fd) != 0) {
+  if (!io::writeFull(Fd, Line.data(), Line.size()) || ::fsync(Fd) != 0) {
     ++AppendFailures;
     ++NumJournalAppendFailures;
     return journalErrno("cannot append journal record for '" + Name + "'");

@@ -223,75 +223,128 @@ Expected<GuardedResult> pira::decodeWorkerResult(const json::Value &Doc) {
   return G;
 }
 
+Expected<WorkerJob> pira::decodeWorkerJob(const json::Value &Doc) {
+  auto Bad = [](const std::string &What) {
+    return Status::error(ErrorCode::ProtocolError, "worker",
+                         "malformed job document: " + What);
+  };
+  WorkerJob Job;
+  std::string Schema, StrategyText;
+  uint64_t Version = 0;
+  if (!readString(Doc, "schema", Schema) || Schema != WorkerJobSchemaName)
+    return Bad("wrong job schema");
+  if (!readU64(Doc, "version", Version) ||
+      Version != static_cast<uint64_t>(WorkerProtocolVersion))
+    return Bad("wrong job version");
+  if (!readString(Doc, "ir", Job.IRText) ||
+      !readString(Doc, "machine", Job.MachineText) ||
+      !readString(Doc, "strategy", StrategyText))
+    return Bad("missing ir/machine/strategy");
+
+  Expected<StrategyKind> Kind = strategyFromName(StrategyText);
+  if (!Kind)
+    return Bad(Kind.status().message());
+  Job.Opts.Strategy = *Kind;
+  uint64_t MaxRounds = Job.Opts.Pinter.MaxRounds;
+  uint64_t OracleMaxInsts = Job.Opts.Oracle.MaxInstructions;
+  const json::Value *Pinter = member(Doc, "pinter");
+  const json::Value *Budget = member(Doc, "budget");
+  const json::Value *Oracle = member(Doc, "oracle");
+  const json::Value *Fault = member(Doc, "fault");
+  if (Pinter == nullptr || Budget == nullptr || Oracle == nullptr ||
+      Fault == nullptr ||
+      !readU64(*Oracle, "max_instructions", OracleMaxInsts) ||
+      !readU64(*Oracle, "node_budget", Job.Opts.Oracle.NodeBudget) ||
+      !readDouble(*Pinter, "interference_weight",
+                  Job.Opts.Pinter.InterferenceWeight) ||
+      !readDouble(*Pinter, "parallel_weight",
+                  Job.Opts.Pinter.ParallelWeight) ||
+      !readBool(*Pinter, "pre_schedule", Job.Opts.Pinter.PreSchedule) ||
+      !readBool(*Pinter, "use_regions", Job.Opts.Pinter.UseRegions) ||
+      !readU64(*Pinter, "max_rounds", MaxRounds) ||
+      !readU64(*Budget, "max_instructions",
+               Job.Opts.Budget.MaxInstructions) ||
+      !readU64(*Budget, "max_blocks", Job.Opts.Budget.MaxBlocks) ||
+      !readU64(*Budget, "deadline_ms", Job.Opts.Budget.DeadlineMs) ||
+      !readBool(Doc, "measure", Job.Opts.Measure) ||
+      !readU64(Doc, "seed", Job.Opts.Seed) ||
+      !readBool(Doc, "degrade", Job.Opts.Degrade))
+    return Bad("malformed job options");
+  Job.Opts.Pinter.MaxRounds = static_cast<unsigned>(MaxRounds);
+  Job.Opts.Oracle.MaxInstructions = static_cast<unsigned>(OracleMaxInsts);
+
+  if (!readString(*Fault, "spec", Job.FaultSpec) ||
+      !readU64(*Fault, "key", Job.FaultKey))
+    return Bad("malformed fault record");
+  readBool(Doc, "telemetry", Job.WantTelemetry);
+  return Job;
+}
+
+GuardedResult pira::runWorkerJob(const WorkerJob &Job,
+                                 CompilationCache *Cache) {
+  faultinject::ScopedKey Key(Job.FaultKey);
+  GuardedResult G;
+  auto Fail = [&](Status S) {
+    G.Outcome.Requested = strategyName(Job.Opts.Strategy);
+    G.Result.Success = false;
+    G.Result.Diag = std::move(S);
+    G.Result.Error = G.Result.Diag.toString();
+    return G;
+  };
+
+  std::string MachineError;
+  std::optional<MachineModel> Machine =
+      parseMachineModel(Job.MachineText, MachineError);
+  if (!Machine)
+    return Fail(Status::error(ErrorCode::ParseError, "worker",
+                              "machine does not parse: " + MachineError));
+  Expected<Function> F = parseFunctionEx(Job.IRText, "<worker-job>");
+  if (!F) {
+    Status S = F.status();
+    S.addContext("worker job IR");
+    return Fail(std::move(S));
+  }
+
+  // The daemon's warm tier: same key discipline and same
+  // only-clean-non-degraded insert rule as compileBatch.
+  std::string CacheKey;
+  if (Cache != nullptr) {
+    CacheKey = computeCacheKey(*F, *Machine, Job.Opts);
+    if (std::optional<PipelineResult> Hit = Cache->lookup(CacheKey)) {
+      G.Result = std::move(*Hit);
+      G.Outcome.Requested = strategyName(Job.Opts.Strategy);
+      G.Outcome.Used = G.Outcome.Requested;
+      return G;
+    }
+  }
+  G = compileFunctionGuarded(*F, *Machine, Job.Opts);
+  if (Cache != nullptr && G.Result.Success && !G.Outcome.Degraded)
+    Cache->insert(CacheKey, G.Result);
+  return G;
+}
+
 int pira::runWorkerMode(std::istream &In, std::ostream &Out,
                         std::ostream &Err) {
   std::ostringstream SS;
   SS << In.rdbuf();
 
-  json::Value Job;
+  json::Value Doc;
   std::string Error;
-  if (!json::parse(SS.str(), Job, Error)) {
+  if (!json::parse(SS.str(), Doc, Error)) {
     Err << "pirac --worker: job does not parse: " << Error << '\n';
     return 3;
   }
-
-  std::string Schema, IRText, MachineText, StrategyText;
-  uint64_t Version = 0;
-  if (!readString(Job, "schema", Schema) || Schema != WorkerJobSchemaName ||
-      !readU64(Job, "version", Version) ||
-      Version != static_cast<uint64_t>(WorkerProtocolVersion) ||
-      !readString(Job, "ir", IRText) ||
-      !readString(Job, "machine", MachineText) ||
-      !readString(Job, "strategy", StrategyText)) {
-    Err << "pirac --worker: malformed job document\n";
+  Expected<WorkerJob> Job = decodeWorkerJob(Doc);
+  if (!Job) {
+    Err << "pirac --worker: " << Job.status().toString() << '\n';
     return 3;
   }
 
-  BatchOptions Opts;
-  Expected<StrategyKind> Kind = strategyFromName(StrategyText);
-  if (!Kind) {
-    Err << "pirac --worker: " << Kind.status().toString() << '\n';
-    return 3;
-  }
-  Opts.Strategy = *Kind;
-  uint64_t MaxRounds = Opts.Pinter.MaxRounds;
-  uint64_t OracleMaxInsts = Opts.Oracle.MaxInstructions;
-  const json::Value *Pinter = member(Job, "pinter");
-  const json::Value *Budget = member(Job, "budget");
-  const json::Value *Oracle = member(Job, "oracle");
-  const json::Value *Fault = member(Job, "fault");
-  if (Pinter == nullptr || Budget == nullptr || Oracle == nullptr ||
-      Fault == nullptr ||
-      !readU64(*Oracle, "max_instructions", OracleMaxInsts) ||
-      !readU64(*Oracle, "node_budget", Opts.Oracle.NodeBudget) ||
-      !readDouble(*Pinter, "interference_weight",
-                  Opts.Pinter.InterferenceWeight) ||
-      !readDouble(*Pinter, "parallel_weight", Opts.Pinter.ParallelWeight) ||
-      !readBool(*Pinter, "pre_schedule", Opts.Pinter.PreSchedule) ||
-      !readBool(*Pinter, "use_regions", Opts.Pinter.UseRegions) ||
-      !readU64(*Pinter, "max_rounds", MaxRounds) ||
-      !readU64(*Budget, "max_instructions", Opts.Budget.MaxInstructions) ||
-      !readU64(*Budget, "max_blocks", Opts.Budget.MaxBlocks) ||
-      !readU64(*Budget, "deadline_ms", Opts.Budget.DeadlineMs) ||
-      !readBool(Job, "measure", Opts.Measure) ||
-      !readU64(Job, "seed", Opts.Seed) ||
-      !readBool(Job, "degrade", Opts.Degrade)) {
-    Err << "pirac --worker: malformed job options\n";
-    return 3;
-  }
-  Opts.Pinter.MaxRounds = static_cast<unsigned>(MaxRounds);
-  Opts.Oracle.MaxInstructions = static_cast<unsigned>(OracleMaxInsts);
-
-  std::string FaultSpec;
-  uint64_t FaultKey = 0;
-  if (!readString(*Fault, "spec", FaultSpec) ||
-      !readU64(*Fault, "key", FaultKey)) {
-    Err << "pirac --worker: malformed fault record\n";
-    return 3;
-  }
   // Configure explicitly even when empty: the child must mirror the
-  // parent's harness, not adopt PIRA_FAULT on its own.
-  if (!faultinject::configure(FaultSpec, Error)) {
+  // parent's harness, not adopt PIRA_FAULT on its own. The server never
+  // takes this path — fault state is process-global and a multi-tenant
+  // daemon must not let one request rearm it for everyone.
+  if (!faultinject::configure(Job->FaultSpec, Error)) {
     Err << "pirac --worker: bad fault spec: " << Error << '\n';
     return 3;
   }
@@ -299,37 +352,16 @@ int pira::runWorkerMode(std::istream &In, std::ostream &Out,
   // v2: mirror the parent's scope-recording switch so trace events are
   // produced exactly when the parent will merge them. Counters and
   // histograms record (and ship) regardless.
-  bool WantTrace = false;
-  readBool(Job, "telemetry", WantTrace);
-  telemetry::setEnabled(WantTrace);
-
-  std::string MachineError;
-  std::optional<MachineModel> Machine =
-      parseMachineModel(MachineText, MachineError);
-  if (!Machine) {
-    Err << "pirac --worker: machine does not parse: " << MachineError << '\n';
-    return 3;
-  }
+  telemetry::setEnabled(Job->WantTelemetry);
 
   // From here on every failure is a *compile* failure: it travels inside
   // the result document, and the worker still exits 0.
-  faultinject::ScopedKey Key(FaultKey);
-  GuardedResult G;
-  Expected<Function> F = parseFunctionEx(IRText, "<worker-job>");
-  if (!F) {
-    G.Outcome.Requested = strategyName(Opts.Strategy);
-    G.Result.Success = false;
-    G.Result.Diag = F.status();
-    G.Result.Diag.addContext("worker job IR");
-    G.Result.Error = G.Result.Diag.toString();
-  } else {
-    G = compileFunctionGuarded(*F, *Machine, Opts);
-  }
-  json::Value Doc = encodeWorkerResult(G);
+  GuardedResult G = runWorkerJob(*Job);
+  json::Value Result = encodeWorkerResult(G);
   // v2: everything this process observed rides home in the result doc —
   // the parent's registries absorb it as if the compile ran in-process.
-  Doc.set("telemetry", telemetry::snapshotToJson());
-  Doc.write(Out, /*Indent=*/-1);
+  Result.set("telemetry", telemetry::snapshotToJson());
+  Result.write(Out, /*Indent=*/-1);
   Out << '\n';
   Out.flush();
   return Out ? 0 : 3;

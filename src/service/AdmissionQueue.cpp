@@ -1,0 +1,58 @@
+//===- service/AdmissionQueue.cpp - Bounded FIFO admission ----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AdmissionQueue.h"
+
+using namespace pira;
+using namespace pira::service;
+
+bool AdmissionQueue::tryPush(ServeRequest R) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Closed || Items.size() >= Capacity)
+      return false;
+    Items.push_back(std::move(R));
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+std::optional<ServeRequest> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+  if (Items.empty())
+    return std::nullopt; // Closed and drained: executor shutdown.
+  ServeRequest R = std::move(Items.front());
+  Items.pop_front();
+  return R;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+}
+
+std::vector<ServeRequest> AdmissionQueue::drainRemaining() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<ServeRequest> Out(std::make_move_iterator(Items.begin()),
+                                std::make_move_iterator(Items.end()));
+  Items.clear();
+  return Out;
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Items.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Closed;
+}

@@ -1,0 +1,83 @@
+//===- service/AdmissionQueue.h - Bounded FIFO admission --------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service's admission controller: a bounded, strictly-FIFO queue
+/// between the connection readers (producers) and the compile executors
+/// (consumers). The bound is the whole point — when the queue is full
+/// the *push fails immediately* and the caller answers the client with
+/// a structured `server-overloaded` response, so overload degrades into
+/// fast, honest shedding instead of an unbounded backlog, unbounded
+/// memory, or a silent hang. FIFO order gives fairness across clients:
+/// nobody's request can be overtaken while it waits.
+///
+/// close() wakes every blocked consumer; drainRemaining() hands the
+/// un-run tail back so a draining server can answer each queued request
+/// with `server-draining` rather than dropping it on the floor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_ADMISSIONQUEUE_H
+#define PIRA_SERVICE_ADMISSIONQUEUE_H
+
+#include "service/Connection.h"
+#include "support/Json.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pira {
+namespace service {
+
+/// One admitted compile request, waiting for an executor.
+struct ServeRequest {
+  std::shared_ptr<Connection> Conn; ///< Where the answer goes.
+  uint64_t Id = 0;                  ///< Client-chosen request id.
+  json::Value Job;                  ///< The embedded pira.job document.
+  uint64_t EnqueueNs = 0;           ///< Monotonic admission instant.
+  uint64_t DeadlineNs = 0;          ///< Absolute deadline; 0 = none.
+};
+
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Admits \p R unless the queue is at capacity or closed. Never
+  /// blocks — a full queue is the caller's cue to shed.
+  bool tryPush(ServeRequest R);
+
+  /// Blocks for the next request in admission order; std::nullopt once
+  /// the queue is closed and empty (executor shutdown).
+  std::optional<ServeRequest> pop();
+
+  /// Stops admission and wakes every blocked pop().
+  void close();
+
+  /// After close(): hands back whatever never ran, for cancellation.
+  std::vector<ServeRequest> drainRemaining();
+
+  size_t depth() const;
+  size_t capacity() const { return Capacity; }
+  bool closed() const;
+
+private:
+  size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::deque<ServeRequest> Items;
+  bool Closed = false;
+};
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_ADMISSIONQUEUE_H

@@ -1,0 +1,318 @@
+//===- service/Client.cpp - Reconnecting compile-service client -----------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "ir/Printer.h"
+#include "machine/MachineConfig.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Worker.h"
+#include "support/Io.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+namespace {
+
+Status clientError(ErrorCode Code, const std::string &What) {
+  return Status::error(Code, "serve/client", What);
+}
+
+/// Maps a wire error name onto the ErrorCode taxonomy. "server-draining"
+/// has no code of its own — to a retrying caller it is exactly a
+/// shedding answer.
+ErrorCode codeForWireError(const std::string &Name) {
+  if (Name == "server-draining")
+    return ErrorCode::ServerOverloaded;
+  return errorCodeFromName(Name);
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(ClientOptions O) : Opts(std::move(O)) {
+  // A daemon death mid-request must surface as EPIPE from the write
+  // that noticed (then reconnect + resend), not kill the host process.
+  // pirac's main() does this too; library embedders get it for free.
+  io::ignoreSigpipe();
+}
+
+ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Status ServiceClient::ensureConnected() {
+  if (Fd >= 0)
+    return Status();
+
+  int NewFd = -1;
+  if (!Opts.SocketPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+      return clientError(ErrorCode::InvalidArgument,
+                         "socket path too long: '" + Opts.SocketPath + "'");
+    std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                Opts.SocketPath.size() + 1);
+    NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (NewFd < 0)
+      return clientError(ErrorCode::Internal,
+                         std::string("socket: ") + std::strerror(errno));
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) < 0) {
+      Status S = clientError(ErrorCode::ServerOverloaded,
+                             "connect('" + Opts.SocketPath +
+                                 "') failed: " + std::strerror(errno));
+      ::close(NewFd);
+      return S;
+    }
+  } else if (Opts.TcpPort >= 0) {
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (NewFd < 0)
+      return clientError(ErrorCode::Internal,
+                         std::string("socket: ") + std::strerror(errno));
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) < 0) {
+      Status S = clientError(
+          ErrorCode::ServerOverloaded,
+          "connect(127.0.0.1:" + std::to_string(Opts.TcpPort) +
+              ") failed: " + std::strerror(errno));
+      ::close(NewFd);
+      return S;
+    }
+  } else {
+    return clientError(ErrorCode::InvalidArgument,
+                       "no daemon address: need a socket path or TCP port");
+  }
+
+  Fd = NewFd;
+  ++Connects;
+  if (Opts.Verbose && Connects > 1)
+    std::cerr << "pirac client: reconnected to the daemon (connection #"
+              << Connects << ")\n";
+  return Status();
+}
+
+Expected<json::Value> ServiceClient::call(const char *Type,
+                                          const json::Value *Job,
+                                          uint64_t DeadlineMs) {
+  Status Last =
+      clientError(ErrorCode::ServerOverloaded, "no connection attempts made");
+  unsigned Attempts = std::max(1u, Opts.MaxAttempts);
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    if (Attempt != 0) {
+      uint64_t Backoff =
+          std::min<uint64_t>(static_cast<uint64_t>(Opts.RetryBackoffMs)
+                                 << (Attempt - 1),
+                             Opts.BackoffCapMs);
+      if (Opts.Verbose)
+        std::cerr << "pirac client: retrying in " << Backoff << " ms ("
+                  << Last.toString() << ")\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    }
+
+    Status C = ensureConnected();
+    if (!C.ok()) {
+      Last = std::move(C);
+      continue;
+    }
+
+    // A fresh id per attempt: a resend after reconnect must never be
+    // answered by a stale response that survived in a kernel buffer.
+    uint64_t Id = NextId++;
+    json::Value Req = requestEnvelope(Id, Type);
+    if (DeadlineMs != 0)
+      Req.set("deadline_ms", DeadlineMs);
+    if (Job != nullptr)
+      Req.set("job", *Job);
+
+    if (!writeFrameDoc(Fd, Req)) {
+      // The daemon died under us (EPIPE/ECONNRESET): reconnect and
+      // resend — compiles are idempotent, so a resend is always safe.
+      Last = clientError(ErrorCode::ServerOverloaded,
+                         std::string("request write failed: ") +
+                             std::strerror(errno));
+      disconnect();
+      continue;
+    }
+
+    bool Retry = false;
+    for (;;) {
+      std::string Payload;
+      FrameStatus S =
+          readFrame(Fd, Payload, Opts.MaxFrameBytes, Opts.ResponseTimeoutMs);
+      if (S != FrameStatus::Ok) {
+        Last = clientError(ErrorCode::ServerOverloaded,
+                           std::string("response read failed: ") +
+                               frameStatusName(S));
+        disconnect();
+        Retry = true;
+        break;
+      }
+      json::Value Doc;
+      std::string Error;
+      if (!json::parse(Payload, Doc, Error)) {
+        Last = clientError(ErrorCode::ProtocolError,
+                           "response does not parse: " + Error);
+        disconnect();
+        Retry = true;
+        break;
+      }
+      const json::Value *RId = Doc.find("id");
+      if (RId == nullptr || !RId->isInt() ||
+          static_cast<uint64_t>(RId->asInt()) != Id)
+        continue; // Not ours (e.g. an id-0 framing complaint): keep reading.
+
+      const json::Value *RType = Doc.find("type");
+      if (RType != nullptr && RType->isString() &&
+          RType->asString() == "error") {
+        const json::Value *Name = Doc.find("error");
+        const json::Value *Message = Doc.find("message");
+        const json::Value *Retryable = Doc.find("retryable");
+        std::string ErrName = Name != nullptr && Name->isString()
+                                  ? Name->asString()
+                                  : "internal";
+        std::string Msg = Message != nullptr && Message->isString()
+                              ? Message->asString()
+                              : ErrName;
+        Last = Status::error(codeForWireError(ErrName), "serve", Msg);
+        if (Retryable != nullptr && Retryable->isBool() &&
+            Retryable->asBool()) {
+          Retry = true; // Shed or draining: back off and try again.
+          break;
+        }
+        return Last; // protocol-error etc.: retrying cannot help.
+      }
+      return Doc;
+    }
+    if (!Retry)
+      break;
+  }
+  return Last;
+}
+
+Expected<GuardedResult> ServiceClient::compile(const json::Value &JobDoc,
+                                               uint64_t DeadlineMs) {
+  Expected<json::Value> Resp = call("compile", &JobDoc, DeadlineMs);
+  if (!Resp)
+    return Resp.status();
+  const json::Value *Result = Resp->find("result");
+  if (Result == nullptr)
+    return clientError(ErrorCode::ProtocolError,
+                       "result response has no result document");
+  return decodeWorkerResult(*Result);
+}
+
+Expected<json::Value> ServiceClient::stats() {
+  Expected<json::Value> Resp = call("stats", nullptr);
+  if (!Resp)
+    return Resp.status();
+  const json::Value *S = Resp->find("stats");
+  if (S == nullptr)
+    return clientError(ErrorCode::ProtocolError,
+                       "stats response has no stats document");
+  return *S;
+}
+
+Expected<json::Value> ServiceClient::health() {
+  return call("health", nullptr);
+}
+
+BatchResult pira::service::compileBatchRemote(
+    const std::vector<BatchItem> &Batch, const MachineModel &Machine,
+    const BatchOptions &Opts, const ClientOptions &Client) {
+  BatchResult R;
+  R.Results.resize(Batch.size());
+  R.Outcomes.resize(Batch.size());
+  unsigned Jobs = Opts.Jobs != 0 ? Opts.Jobs : ThreadPool::defaultJobCount();
+  R.JobsUsed = Jobs;
+  if (Batch.empty())
+    return R;
+
+  // Printed once; every job document carries the same machine text.
+  std::string MachineText = machineModelToString(Machine);
+
+  // The daemon owns caching, journaling, and isolation; strip the
+  // process-local knobs so job documents are pure compile requests.
+  BatchOptions JobOpts = Opts;
+  JobOpts.Jobs = 1;
+  JobOpts.Cache = nullptr;
+  JobOpts.Journal = nullptr;
+  JobOpts.Isolate = false;
+
+  std::atomic<size_t> NextItem{0};
+  auto Work = [&] {
+    // One connection per thread: a daemon death costs each thread one
+    // reconnect, not a shared-socket pile-up.
+    ServiceClient C(Client);
+    for (;;) {
+      size_t I = NextItem.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Batch.size())
+        return;
+      std::string IRText = functionToString(Batch[I].Input);
+      // The fault key mirrors the in-process driver (input position) so
+      // the daemon's cache keys line up with local semantics; the spec
+      // is always empty — the service refuses armed jobs.
+      json::Value Job = encodeWorkerJob(IRText, MachineText, JobOpts,
+                                        /*FaultSpec=*/"", /*FaultKey=*/I);
+      Expected<GuardedResult> G = C.compile(Job);
+      if (G) {
+        R.Results[I] = std::move(G->Result);
+        R.Outcomes[I] = std::move(G->Outcome);
+      } else {
+        // Retries exhausted or a non-retryable answer: a structured
+        // per-item failure, never an aborted batch.
+        PipelineResult &P = R.Results[I];
+        P.Success = false;
+        P.Diag = G.status();
+        P.Diag.addContext("function @" + Batch[I].Input.name());
+        P.Error = P.Diag.toString();
+        R.Outcomes[I].Requested = strategyName(Opts.Strategy);
+      }
+    }
+  };
+
+  size_t NumThreads = std::min<size_t>(Jobs, Batch.size());
+  if (NumThreads <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumThreads);
+    for (size_t T = 0; T != NumThreads; ++T)
+      Threads.emplace_back(Work);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  finalizeBatchAggregates(R);
+  return R;
+}

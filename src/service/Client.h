@@ -1,0 +1,121 @@
+//===- service/Client.h - Reconnecting compile-service client ---*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the `pirac serve` protocol: a synchronous,
+/// single-connection ServiceClient whose call() survives a daemon death
+/// invisibly — on a dead or reset socket it reconnects with bounded
+/// doubling backoff and *resends* the request, and on a retryable
+/// server answer (`server-overloaded`, `server-draining`) it backs off
+/// and tries again. kill -9 the daemon mid-request, restart it, and the
+/// caller never notices beyond latency. Safe because compile requests
+/// are idempotent: a compile is a pure function of its job document
+/// (the determinism contract, DESIGN.md §7), so re-running one the dead
+/// daemon may already have finished changes nothing.
+///
+/// compileBatchRemote() is the batch driver's remote twin: it fans a
+/// BatchItem list over per-thread clients (each with its own
+/// connection), lands results in pre-sized input-order slots, and
+/// finalizes aggregates with the same finalizeBatchAggregates the
+/// in-process driver uses — which is what makes a remote stats report
+/// byte-compare clean against `pirac --jobs N`. Requests that exhaust
+/// their retries become per-item structured failures
+/// (server-overloaded and friends); they never abort the batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_CLIENT_H
+#define PIRA_SERVICE_CLIENT_H
+
+#include "pipeline/Batch.h"
+#include "service/Framing.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pira {
+namespace service {
+
+struct ClientOptions {
+  /// Unix socket path of the daemon; empty means TCP.
+  std::string SocketPath;
+  /// Loopback TCP port; used when SocketPath is empty.
+  int TcpPort = -1;
+  /// Total attempts per call (connect failures, dead sockets, and
+  /// retryable server answers all consume attempts). 1 = no retry.
+  unsigned MaxAttempts = 8;
+  /// Backoff before attempt N: min(RetryBackoffMs << (N-1), BackoffCapMs).
+  unsigned RetryBackoffMs = 50;
+  unsigned BackoffCapMs = 2000;
+  /// Patience for one response, ms; 0 = forever. Compiles are bounded
+  /// by the server's watchdog, so "forever" still terminates — but a
+  /// finite value turns a wedged daemon into a retry.
+  int ResponseTimeoutMs = 120000;
+  /// Frame cap for responses (mirror of the server's).
+  uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Reconnect/retry notices on stderr (the serve-smoke CI job greps
+  /// for these to prove the kill -9 was actually ridden out).
+  bool Verbose = false;
+};
+
+class ServiceClient {
+public:
+  explicit ServiceClient(ClientOptions Opts);
+  ~ServiceClient();
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// One request/response round trip under the full retry policy (see
+  /// file comment). \p Type is "compile" / "health" / "stats"; \p Job,
+  /// when non-null, is embedded as the "job" member; \p DeadlineMs > 0
+  /// rides along as the server-enforced deadline. Returns the response
+  /// document, or the Status of the last failure once attempts are
+  /// exhausted (non-retryable server errors fail immediately).
+  Expected<json::Value> call(const char *Type, const json::Value *Job,
+                             uint64_t DeadlineMs = 0);
+
+  /// call("compile") plus result decoding.
+  Expected<GuardedResult> compile(const json::Value &JobDoc,
+                                  uint64_t DeadlineMs = 0);
+
+  /// The daemon's pira.serve-stats document.
+  Expected<json::Value> stats();
+
+  /// The daemon's health answer ("ok" / "draining").
+  Expected<json::Value> health();
+
+  /// Connections established over this client's lifetime (>1 means it
+  /// rode out at least one daemon death).
+  uint64_t connectCount() const { return Connects; }
+
+private:
+  Status ensureConnected();
+  void disconnect();
+
+  ClientOptions Opts;
+  int Fd = -1;
+  uint64_t NextId = 1;
+  uint64_t Connects = 0;
+};
+
+/// Compiles \p Batch against a running daemon (see file comment).
+/// Spins min(Opts.Jobs or default, batch size) threads, each with its
+/// own connection. Per-item failures (including retry exhaustion when
+/// no daemon ever answers) land as structured diagnostics in that
+/// item's slot. Opts fields that are process-local concerns of the
+/// in-process driver (Isolate, Journal, Cache) are ignored — the
+/// daemon owns its own cache.
+BatchResult compileBatchRemote(const std::vector<BatchItem> &Batch,
+                               const MachineModel &Machine,
+                               const BatchOptions &Opts,
+                               const ClientOptions &Client);
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_CLIENT_H

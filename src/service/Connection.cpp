@@ -1,0 +1,35 @@
+//===- service/Connection.cpp - One accepted client socket ----------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Connection.h"
+
+#include "service/Framing.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+Connection::Connection(int Fd, uint64_t Id, std::string Peer)
+    : SockFd(Fd), ClientId(Id), PeerName(std::move(Peer)) {}
+
+Connection::~Connection() {
+  if (SockFd >= 0)
+    ::close(SockFd);
+}
+
+bool Connection::sendDoc(const json::Value &Doc) {
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  if (!writeFrameDoc(SockFd, Doc)) {
+    DroppedResponses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Connection::shutdownBoth() { ::shutdown(SockFd, SHUT_RDWR); }

@@ -1,0 +1,76 @@
+//===- service/Connection.h - One accepted client socket --------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One accepted client of the compile service: the socket, a write lock
+/// (the connection's reader thread and any number of executor threads
+/// answer on the same descriptor), and the per-client tallies the
+/// admission controller and the stats endpoint read.
+///
+/// Connections are shared_ptr-owned: the server's registry holds one
+/// reference, and every request sitting in the admission queue holds
+/// another, so a client that disconnects mid-request leaves a valid
+/// object for the executor to fail its response write against (counted
+/// as a dropped response, never a crash or a stall).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_CONNECTION_H
+#define PIRA_SERVICE_CONNECTION_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace pira {
+namespace service {
+
+class Connection {
+public:
+  /// Takes ownership of \p Fd. \p Id is the server-assigned client id
+  /// (1-based accept order); \p Peer a short transport label.
+  Connection(int Fd, uint64_t Id, std::string Peer);
+  ~Connection();
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  int fd() const { return SockFd; }
+  uint64_t id() const { return ClientId; }
+  const std::string &peer() const { return PeerName; }
+
+  /// Serialized frame write; false when the peer is gone or the send
+  /// timeout expired (the failure is tallied as a dropped response).
+  bool sendDoc(const json::Value &Doc);
+
+  /// Shuts the socket down both ways, waking a blocked reader; the fd
+  /// itself closes with the object.
+  void shutdownBoth();
+
+  /// True once the reader thread has exited (registry sweep hint).
+  std::atomic<bool> ReaderDone{false};
+
+  /// Per-client tallies (stats endpoint + admission control).
+  std::atomic<uint64_t> Requests{0};       ///< Compile requests admitted.
+  std::atomic<uint64_t> InFlight{0};       ///< Admitted, not yet answered.
+  std::atomic<uint64_t> Shed{0};           ///< Overload/budget rejections.
+  std::atomic<uint64_t> ProtocolErrors{0}; ///< Malformed frames/requests.
+  std::atomic<uint64_t> DroppedResponses{0}; ///< Writes to a gone peer.
+
+private:
+  int SockFd;
+  uint64_t ClientId;
+  std::string PeerName;
+  std::mutex WriteMutex;
+};
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_CONNECTION_H

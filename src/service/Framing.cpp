@@ -1,0 +1,161 @@
+//===- service/Framing.cpp - Length-prefixed frame protocol ---------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Framing.h"
+
+#include "support/Io.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+const char *pira::service::frameStatusName(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Eof:
+    return "eof";
+  case FrameStatus::Timeout:
+    return "timeout";
+  case FrameStatus::TooLarge:
+    return "too-large";
+  case FrameStatus::BadLength:
+    return "bad-length";
+  case FrameStatus::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string pira::service::frameBytes(std::string_view Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  std::string Out;
+  Out.reserve(Payload.size() + 4);
+  Out.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.append(Payload);
+  return Out;
+}
+
+std::string pira::service::frameDoc(const json::Value &Doc) {
+  return frameBytes(Doc.toString(-1));
+}
+
+namespace {
+
+/// Waits for readability, EINTR-proof. Returns 1 ready, 0 timeout,
+/// -1 error.
+int waitReadable(int Fd, int TimeoutMs) {
+  for (;;) {
+    pollfd P;
+    P.fd = Fd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int N = ::poll(&P, 1, TimeoutMs <= 0 ? -1 : TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    return N;
+  }
+}
+
+/// Accumulates exactly \p Want bytes, polling before every read so an
+/// inactive peer times out instead of blocking the thread forever.
+/// \p SawAny reports whether any byte of this frame arrived (an EOF on
+/// the very first byte is a clean close; later it is a torn frame).
+FrameStatus readExact(int Fd, char *Buf, size_t Want, int IdleTimeoutMs,
+                      bool &SawAny) {
+  size_t Got = 0;
+  while (Got < Want) {
+    int Ready = waitReadable(Fd, IdleTimeoutMs);
+    if (Ready < 0)
+      return FrameStatus::Error;
+    if (Ready == 0)
+      return FrameStatus::Timeout;
+    ssize_t N = ::read(Fd, Buf + Got, Want - Got);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return FrameStatus::Error;
+    }
+    if (N == 0)
+      return SawAny ? FrameStatus::Error : FrameStatus::Eof;
+    SawAny = true;
+    Got += static_cast<size_t>(N);
+  }
+  return FrameStatus::Ok;
+}
+
+} // namespace
+
+FrameStatus pira::service::readFrame(int Fd, std::string &Payload,
+                                     uint32_t MaxBytes, int IdleTimeoutMs) {
+  Payload.clear();
+  unsigned char Header[4];
+  bool SawAny = false;
+  FrameStatus HS = readExact(Fd, reinterpret_cast<char *>(Header), 4,
+                             IdleTimeoutMs, SawAny);
+  if (HS != FrameStatus::Ok)
+    return HS;
+  uint32_t Len = (static_cast<uint32_t>(Header[0]) << 24) |
+                 (static_cast<uint32_t>(Header[1]) << 16) |
+                 (static_cast<uint32_t>(Header[2]) << 8) |
+                 static_cast<uint32_t>(Header[3]);
+  if (Len == 0)
+    return FrameStatus::BadLength;
+  if (MaxBytes != 0 && Len > MaxBytes)
+    return FrameStatus::TooLarge; // Rejected before a byte is read.
+  Payload.resize(Len);
+  FrameStatus PS = readExact(Fd, Payload.data(), Len, IdleTimeoutMs, SawAny);
+  if (PS == FrameStatus::Eof)
+    return FrameStatus::Error; // EOF mid-frame is always torn.
+  return PS;
+}
+
+bool pira::service::writeFrame(int Fd, std::string_view Payload) {
+  std::string Framed = frameBytes(Payload);
+  return io::writeFull(Fd, Framed.data(), Framed.size());
+}
+
+bool pira::service::writeFrameDoc(int Fd, const json::Value &Doc) {
+  return writeFrame(Fd, Doc.toString(-1));
+}
+
+json::Value pira::service::requestEnvelope(uint64_t Id, const char *Type) {
+  json::Value D = json::Value::object();
+  D.set("schema", RequestSchemaName);
+  D.set("version", ServiceProtocolVersion);
+  D.set("id", Id);
+  D.set("type", Type);
+  return D;
+}
+
+json::Value pira::service::responseEnvelope(uint64_t Id, const char *Type) {
+  json::Value D = json::Value::object();
+  D.set("schema", ResponseSchemaName);
+  D.set("version", ServiceProtocolVersion);
+  D.set("id", Id);
+  D.set("type", Type);
+  return D;
+}
+
+json::Value pira::service::errorResponse(uint64_t Id, const char *Error,
+                                         std::string Message, bool Retryable) {
+  json::Value D = responseEnvelope(Id, "error");
+  D.set("error", Error);
+  D.set("message", std::move(Message));
+  D.set("retryable", Retryable);
+  return D;
+}

@@ -1,0 +1,115 @@
+//===- service/Framing.h - Length-prefixed frame protocol -------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the `pirac serve` protocol: every message is one
+/// frame — a 4-byte big-endian payload length followed by that many
+/// bytes of UTF-8 JSON. Framing is the service's first line of defense,
+/// so the reader is written for hostile peers:
+///
+///   - a length over the frame cap is rejected *before* any payload is
+///     read (FrameStatus::TooLarge) — a four-byte header cannot make
+///     the server allocate gigabytes;
+///   - a zero length is malformed (BadLength) — there is no empty
+///     document;
+///   - a peer that stalls mid-frame (slowloris) or goes idle trips the
+///     inactivity timeout (Timeout); any byte of progress re-arms it;
+///   - a clean close between frames is Eof, distinct from Error
+///     (ECONNRESET and friends, errno preserved).
+///
+/// The payload is bytes here; parsing it as JSON — with support/Json's
+/// hardened parser (depth limit, UTF-8 validation) — and judging the
+/// document is the caller's job (Server/Client).
+///
+/// Frame *writes* go through io::writeFull (support/Io.h), the same
+/// retrying helper the journal and subprocess layers use. The server
+/// arms SO_SNDTIMEO on its sockets so a client that stops reading
+/// surfaces as a bounded EAGAIN failure, never a wedged executor.
+///
+/// On top of the raw frames sit the request/response envelopes
+/// ("pira.request" / "pira.response" v1):
+///
+///   request:  {"schema","version","id", "type": "compile"|"health"|
+///              "stats", ["deadline_ms"], ["job": <pira.job doc>]}
+///   response: {"schema","version","id", "type": "result"|"health"|
+///              "stats"|"error", ...}
+///
+/// Error responses carry {"error": "server-overloaded"|"protocol-error"
+/// |"deadline-exceeded"|"server-draining", "message", "retryable"}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_FRAMING_H
+#define PIRA_SERVICE_FRAMING_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pira {
+namespace service {
+
+/// Envelope schema constants.
+inline constexpr const char *RequestSchemaName = "pira.request";
+inline constexpr const char *ResponseSchemaName = "pira.response";
+inline constexpr int ServiceProtocolVersion = 1;
+
+/// Default frame cap: generous for compile jobs (whole functions travel
+/// as text), tiny next to what an unchecked 32-bit length could demand.
+inline constexpr uint32_t DefaultMaxFrameBytes = 16u << 20;
+
+/// How one readFrame attempt ended.
+enum class FrameStatus {
+  Ok,        ///< A whole frame landed in the payload buffer.
+  Eof,       ///< Peer closed cleanly on a frame boundary.
+  Timeout,   ///< Inactivity timeout expired (idle peer or slowloris).
+  TooLarge,  ///< Header announced a payload over the cap.
+  BadLength, ///< Header announced a zero-length payload.
+  Error,     ///< Read error (errno preserved), or mid-frame EOF.
+};
+
+/// Printable name for diagnostics ("ok", "eof", "timeout", ...).
+const char *frameStatusName(FrameStatus S);
+
+/// Frames \p Payload: 4-byte big-endian length, then the bytes.
+std::string frameBytes(std::string_view Payload);
+
+/// Frames a JSON document (compact serialization).
+std::string frameDoc(const json::Value &Doc);
+
+/// Reads one frame from blocking descriptor \p Fd into \p Payload.
+/// Waits at most \p IdleTimeoutMs (0 = forever) for each increment of
+/// progress; rejects payloads over \p MaxBytes without reading them.
+FrameStatus readFrame(int Fd, std::string &Payload, uint32_t MaxBytes,
+                      int IdleTimeoutMs);
+
+/// Writes one framed payload with io::writeFull. False on error with
+/// errno preserved (EPIPE/ECONNRESET = peer gone; EAGAIN = an armed
+/// SO_SNDTIMEO expired on a peer that stopped reading).
+bool writeFrame(int Fd, std::string_view Payload);
+
+/// writeFrame of a compact-serialized document.
+bool writeFrameDoc(int Fd, const json::Value &Doc);
+
+/// A bare pira.request envelope (schema, version, id, type); the caller
+/// adds "job" / "deadline_ms" as the type requires.
+json::Value requestEnvelope(uint64_t Id, const char *Type);
+
+/// A bare pira.response envelope.
+json::Value responseEnvelope(uint64_t Id, const char *Type);
+
+/// A complete error response: {"error": \p Error, "message",
+/// "retryable"}. \p Error is one of the error-vocabulary strings above.
+json::Value errorResponse(uint64_t Id, const char *Error,
+                          std::string Message, bool Retryable);
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_FRAMING_H

@@ -1,0 +1,158 @@
+//===- service/Listener.cpp - Serve-socket setup and accept ---------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Listener.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+namespace {
+
+Status listenError(const std::string &What) {
+  return Status::error(ErrorCode::Internal, "serve/listen",
+                       What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Listener::Listener(Listener &&O) noexcept
+    : Fd(std::exchange(O.Fd, -1)), Port(std::exchange(O.Port, 0)),
+      UnixPath(std::move(O.UnixPath)) {
+  O.UnixPath.clear();
+}
+
+Listener &Listener::operator=(Listener &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = std::exchange(O.Fd, -1);
+    Port = std::exchange(O.Port, 0);
+    UnixPath = std::move(O.UnixPath);
+    O.UnixPath.clear();
+  }
+  return *this;
+}
+
+Expected<Listener> Listener::listenUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(ErrorCode::InvalidArgument, "serve/listen",
+                         "socket path too long (" +
+                             std::to_string(Path.size()) + " bytes, limit " +
+                             std::to_string(sizeof(Addr.sun_path) - 1) +
+                             "): '" + Path + "'");
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return listenError("socket(AF_UNIX)");
+
+  // A stale node from a crashed daemon must not block restart; a *live*
+  // daemon still holds its own listening fd, so unlinking only detaches
+  // the path, it cannot hijack established connections.
+  ::unlink(Path.c_str());
+
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status S = listenError("bind('" + Path + "')");
+    ::close(Fd);
+    return S;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Status S = listenError("listen('" + Path + "')");
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return S;
+  }
+  Listener L;
+  L.Fd = Fd;
+  L.UnixPath = Path;
+  return L;
+}
+
+Expected<Listener> Listener::listenTcp(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return listenError("socket(AF_INET)");
+
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  // Loopback only: the daemon speaks an unauthenticated protocol.
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status S = listenError("bind(127.0.0.1:" + std::to_string(Port) + ")");
+    ::close(Fd);
+    return S;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Status S = listenError("listen(tcp)");
+    ::close(Fd);
+    return S;
+  }
+
+  // Recover the kernel-assigned port after a 0 request.
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) < 0) {
+    Status S = listenError("getsockname(tcp)");
+    ::close(Fd);
+    return S;
+  }
+
+  Listener L;
+  L.Fd = Fd;
+  L.Port = ntohs(Addr.sin_port);
+  return L;
+}
+
+int Listener::acceptOne(std::string &Peer) const {
+  for (;;) {
+    sockaddr_storage Addr;
+    socklen_t AddrLen = sizeof(Addr);
+    int Conn = ::accept(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (Addr.ss_family == AF_INET) {
+      const auto *In = reinterpret_cast<const sockaddr_in *>(&Addr);
+      char Buf[INET_ADDRSTRLEN] = {0};
+      ::inet_ntop(AF_INET, &In->sin_addr, Buf, sizeof(Buf));
+      Peer = std::string("tcp:") + Buf + ":" + std::to_string(ntohs(In->sin_port));
+    } else {
+      Peer = "unix";
+    }
+    return Conn;
+  }
+}
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!UnixPath.empty()) {
+    ::unlink(UnixPath.c_str());
+    UnixPath.clear();
+  }
+}

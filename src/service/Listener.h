@@ -1,0 +1,68 @@
+//===- service/Listener.h - Serve-socket setup and accept -------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Listening-socket plumbing for `pirac serve`: a unix-domain socket
+/// (the default transport, path-addressed) and an optional loopback TCP
+/// port. Binding a unix socket whose path is left over from a previous
+/// daemon (crashed, kill -9'd) unlinks the stale node first — a
+/// restarted daemon must come up without manual cleanup, because the
+/// crash-recovery story depends on it. TCP binds 127.0.0.1 only with
+/// SO_REUSEADDR for the same reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_LISTENER_H
+#define PIRA_SERVICE_LISTENER_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pira {
+namespace service {
+
+/// One listening socket (unix or TCP) plus its cleanup obligations.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+  Listener(Listener &&O) noexcept;
+  Listener &operator=(Listener &&O) noexcept;
+
+  /// Binds + listens on unix socket \p Path, unlinking a stale node.
+  static Expected<Listener> listenUnix(const std::string &Path);
+
+  /// Binds + listens on 127.0.0.1:\p Port (0 = kernel-assigned).
+  static Expected<Listener> listenTcp(uint16_t Port);
+
+  /// Accepts one connection; -1 with errno preserved on failure.
+  /// \p Peer receives a short transport label ("unix" / "tcp:IP:port").
+  int acceptOne(std::string &Peer) const;
+
+  /// Closes the socket and unlinks a unix path we own.
+  void close();
+
+  int fd() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  /// For TCP: the actual bound port (after a 0 request).
+  uint16_t port() const { return Port; }
+  const std::string &path() const { return UnixPath; }
+
+private:
+  int Fd = -1;
+  uint16_t Port = 0;
+  std::string UnixPath; ///< Non-empty when we must unlink on close.
+};
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_LISTENER_H

@@ -1,0 +1,537 @@
+//===- service/Server.cpp - The pirac compile daemon ----------------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "pipeline/Report.h"
+#include "pipeline/Worker.h"
+#include "support/Io.h"
+#include "support/Telemetry.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+PIRA_STAT(NumServeRequests, "Service requests received (all types)");
+PIRA_STAT(NumServeCompiles, "Service compile requests completed");
+PIRA_STAT(NumServeShedQueueFull,
+          "Compile requests shed because the admission queue was full");
+PIRA_STAT(NumServeShedBudget,
+          "Compile requests shed because the client's budget was exhausted");
+PIRA_STAT(NumServeShedDraining, "Compile requests refused while draining");
+PIRA_STAT(NumServeProtocolErrors,
+          "Service frames or requests that violated the wire protocol");
+PIRA_STAT(NumServeDeadlineExpired,
+          "Service requests whose deadline expired while queued");
+PIRA_STAT(NumServeDrainCancelled,
+          "Queued service requests cancelled by a drain");
+PIRA_STAT(NumServeClientsAccepted, "Service client connections accepted");
+PIRA_STAT(NumServeClientsRejected,
+          "Service client connections rejected at the connection cap");
+PIRA_STAT(NumServeIdleTimeouts,
+          "Service connections closed by the inactivity timeout");
+PIRA_HIST(ServeQueueWaitLatency,
+          "Admission-queue wait per service compile request");
+PIRA_HIST(ServeRequestLatency,
+          "Service compile latency, execution start to response");
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Cache(CacheMode::On, Opts.CacheDir),
+      Queue(Opts.QueueDepth) {}
+
+Server::~Server() {
+  if (SignalR >= 0)
+    ::close(SignalR);
+  if (SignalW >= 0)
+    ::close(SignalW);
+}
+
+Status Server::bind() {
+  // A client that hangs up while a response is in flight must cost a
+  // DroppedResponses tick, not the process; embedders that never go
+  // through pirac's main() need this just as much.
+  io::ignoreSigpipe();
+  if (Opts.SocketPath.empty() && Opts.TcpPort < 0)
+    return Status::error(ErrorCode::InvalidArgument, "serve/bind",
+                         "no transport: need a socket path or a TCP port");
+  if (!Opts.SocketPath.empty()) {
+    Expected<Listener> L = Listener::listenUnix(Opts.SocketPath);
+    if (!L)
+      return L.status();
+    Unix = L.take();
+  }
+  if (Opts.TcpPort >= 0) {
+    Expected<Listener> L = Listener::listenTcp(static_cast<uint16_t>(Opts.TcpPort));
+    if (!L)
+      return L.status();
+    Tcp = L.take();
+  }
+  int Fds[2];
+  if (::pipe(Fds) < 0)
+    return Status::error(ErrorCode::Internal, "serve/bind",
+                         std::string("pipe: ") + std::strerror(errno));
+  SignalR = Fds[0];
+  SignalW = Fds[1];
+  ::fcntl(SignalR, F_SETFD, FD_CLOEXEC);
+  ::fcntl(SignalW, F_SETFD, FD_CLOEXEC);
+  return Status();
+}
+
+uint16_t Server::tcpPort() const { return Tcp.port(); }
+
+void Server::requestDrain() {
+  // Async-signal-safe: one write, failure ignored (a full pipe already
+  // holds an unserviced shutdown byte).
+  if (SignalW >= 0)
+    (void)!::write(SignalW, "T", 1);
+}
+
+void Server::requestAbort() {
+  if (SignalW >= 0)
+    (void)!::write(SignalW, "I", 1);
+}
+
+void Server::acceptFrom(const Listener &L) {
+  std::string Peer;
+  int Fd = L.acceptOne(Peer);
+  if (Fd < 0)
+    return;
+
+  // A client that stops reading must not wedge an executor inside a
+  // response write: bound sends, then treat the EAGAIN like any other
+  // gone peer (a dropped response).
+  timeval SendTimeout;
+  SendTimeout.tv_sec = 10;
+  SendTimeout.tv_usec = 0;
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+               sizeof(SendTimeout));
+
+  sweepConnections(/*All=*/false);
+
+  uint64_t Id = 0;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    if (Connections.size() >= Opts.MaxClients) {
+      ++NumServeClientsRejected;
+      writeFrameDoc(Fd, errorResponse(0, "server-overloaded",
+                                      "connection cap (" +
+                                          std::to_string(Opts.MaxClients) +
+                                          " clients) reached",
+                                      /*Retryable=*/true));
+      ::close(Fd);
+      return;
+    }
+    Id = NextClientId++;
+  }
+
+  auto Conn = std::make_shared<Connection>(Fd, Id, Peer);
+  ++NumServeClientsAccepted;
+  if (Opts.Verbose)
+    std::cerr << "pirac serve: client " << Id << " connected (" << Peer
+              << ")\n";
+
+  Slot S;
+  S.Conn = Conn;
+  S.Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Connections.emplace(Id, std::move(S));
+}
+
+void Server::sweepConnections(bool All) {
+  // Joins happen outside the registry lock: a reader answering a stats
+  // request takes RegistryMutex itself, and joining it under the lock
+  // would deadlock.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    for (auto It = Connections.begin(); It != Connections.end();) {
+      if (All)
+        It->second.Conn->shutdownBoth();
+      if (All || It->second.Conn->ReaderDone.load()) {
+        ToJoin.push_back(std::move(It->second.Reader));
+        It = Connections.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  for (std::thread &T : ToJoin)
+    T.join();
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> Conn) {
+  for (;;) {
+    std::string Payload;
+    FrameStatus S = readFrame(Conn->fd(), Payload, Opts.MaxFrameBytes,
+                              Opts.IdleTimeoutMs);
+    if (S == FrameStatus::Ok) {
+      json::Value Doc;
+      std::string Error;
+      if (!json::parse(Payload, Doc, Error)) {
+        // Well-framed garbage (including depth bombs and invalid
+        // UTF-8, rejected by the hardened parser): answer and keep the
+        // connection — resynchronization is safe on a frame boundary.
+        ++NumServeProtocolErrors;
+        Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        Conn->sendDoc(errorResponse(0, "protocol-error",
+                                    "request does not parse: " + Error,
+                                    /*Retryable=*/false));
+        continue;
+      }
+      handleRequest(Conn, Doc);
+      continue;
+    }
+    if (S == FrameStatus::TooLarge || S == FrameStatus::BadLength) {
+      // Framing violations cannot be resynchronized (the stream offset
+      // is lost): answer best-effort, then close.
+      ++NumServeProtocolErrors;
+      Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      Conn->sendDoc(errorResponse(
+          0, "protocol-error",
+          std::string("bad frame: ") + frameStatusName(S),
+          /*Retryable=*/false));
+      break;
+    }
+    if (S == FrameStatus::Timeout)
+      ++NumServeIdleTimeouts; // Idle or slowloris peer: disconnect.
+    break;                    // Timeout, Eof, or Error.
+  }
+  Conn->shutdownBoth();
+  Conn->ReaderDone.store(true);
+  if (Opts.Verbose)
+    std::cerr << "pirac serve: client " << Conn->id() << " disconnected\n";
+}
+
+void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
+                           const json::Value &Doc) {
+  // Salvage the id first so even a rejected request is answerable.
+  uint64_t Id = 0;
+  if (const json::Value *IdV = Doc.find("id"))
+    if (IdV->isInt() && IdV->asInt() >= 0)
+      Id = static_cast<uint64_t>(IdV->asInt());
+
+  auto Protocol = [&](const std::string &Message) {
+    ++NumServeProtocolErrors;
+    Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    Conn->sendDoc(errorResponse(Id, "protocol-error", Message,
+                                /*Retryable=*/false));
+  };
+
+  const json::Value *Schema = Doc.find("schema");
+  const json::Value *Version = Doc.find("version");
+  const json::Value *Type = Doc.find("type");
+  if (!Doc.isObject() || Schema == nullptr || !Schema->isString() ||
+      Schema->asString() != RequestSchemaName)
+    return Protocol("not a pira.request document");
+  if (Version == nullptr || !Version->isInt() ||
+      Version->asInt() != ServiceProtocolVersion)
+    return Protocol("unsupported protocol version");
+  if (!Doc.has("id"))
+    return Protocol("request has no id");
+  if (Type == nullptr || !Type->isString())
+    return Protocol("request has no type");
+
+  ++NumServeRequests;
+  Conn->Requests.fetch_add(1, std::memory_order_relaxed);
+  const std::string &TypeName = Type->asString();
+
+  // health and stats bypass admission: the daemon stays observable
+  // precisely when the compile queue is saturated.
+  if (TypeName == "health") {
+    json::Value Resp = responseEnvelope(Id, "health");
+    Resp.set("status", Draining.load() ? "draining" : "ok");
+    Conn->sendDoc(Resp);
+    return;
+  }
+  if (TypeName == "stats") {
+    json::Value Resp = responseEnvelope(Id, "stats");
+    Resp.set("stats", statsToJson());
+    Conn->sendDoc(Resp);
+    return;
+  }
+  if (TypeName != "compile")
+    return Protocol("unknown request type '" + TypeName + "'");
+
+  const json::Value *Job = Doc.find("job");
+  if (Job == nullptr || !Job->isObject())
+    return Protocol("compile request has no job document");
+
+  if (Draining.load()) {
+    ++NumServeShedDraining;
+    Conn->Shed.fetch_add(1, std::memory_order_relaxed);
+    Conn->sendDoc(errorResponse(Id, "server-draining",
+                                "server is draining; retry elsewhere or "
+                                "after restart",
+                                /*Retryable=*/true));
+    return;
+  }
+  if (Conn->InFlight.load(std::memory_order_relaxed) >=
+      Opts.PerClientBudget) {
+    ++NumServeShedBudget;
+    Conn->Shed.fetch_add(1, std::memory_order_relaxed);
+    Conn->sendDoc(errorResponse(
+        Id, "server-overloaded",
+        "per-client budget (" + std::to_string(Opts.PerClientBudget) +
+            " concurrent requests) exhausted",
+        /*Retryable=*/true));
+    return;
+  }
+
+  ServeRequest R;
+  R.Conn = Conn;
+  R.Id = Id;
+  R.Job = *Job;
+  R.EnqueueNs = telemetry::monotonicNowNs();
+  if (const json::Value *Deadline = Doc.find("deadline_ms"))
+    if (Deadline->isInt() && Deadline->asInt() > 0)
+      R.DeadlineNs =
+          R.EnqueueNs + static_cast<uint64_t>(Deadline->asInt()) * 1000000u;
+
+  Conn->InFlight.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(DrainMutex);
+    ++Outstanding;
+  }
+  if (!Queue.tryPush(std::move(R))) {
+    Conn->InFlight.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(DrainMutex);
+      --Outstanding;
+    }
+    DrainCv.notify_all();
+    ++NumServeShedQueueFull;
+    Conn->Shed.fetch_add(1, std::memory_order_relaxed);
+    Conn->sendDoc(errorResponse(
+        Id, "server-overloaded",
+        "admission queue full (" + std::to_string(Queue.capacity()) +
+            " requests)",
+        /*Retryable=*/true));
+  }
+}
+
+void Server::executeOne(ServeRequest R) {
+  auto Finish = [&] {
+    R.Conn->InFlight.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(DrainMutex);
+      --Outstanding;
+    }
+    DrainCv.notify_all();
+  };
+
+  uint64_t Now = telemetry::monotonicNowNs();
+  ServeQueueWaitLatency.record(Now - R.EnqueueNs);
+
+  // A deadline that expired in the queue: answer without burning an
+  // executor slot on work the client has already given up on.
+  if (R.DeadlineNs != 0 && Now > R.DeadlineNs) {
+    ++NumServeDeadlineExpired;
+    R.Conn->sendDoc(errorResponse(R.Id, "deadline-exceeded",
+                                  "deadline expired while queued",
+                                  /*Retryable=*/false));
+    Finish();
+    return;
+  }
+
+  Expected<WorkerJob> Job = decodeWorkerJob(R.Job);
+  if (!Job) {
+    ++NumServeProtocolErrors;
+    R.Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    R.Conn->sendDoc(errorResponse(R.Id, "protocol-error",
+                                  Job.status().toString(),
+                                  /*Retryable=*/false));
+    Finish();
+    return;
+  }
+  if (!Job->FaultSpec.empty()) {
+    // Fault injection is process-global (support/FaultInjection): one
+    // client arming it would arm it for every tenant. Only the
+    // single-job --worker path may adopt a spec.
+    ++NumServeProtocolErrors;
+    R.Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    R.Conn->sendDoc(errorResponse(
+        R.Id, "protocol-error",
+        "fault injection is not available over the service",
+        /*Retryable=*/false));
+    Finish();
+    return;
+  }
+
+  // The job's deadline also bounds the compile itself (the guard's
+  // per-rung watchdog), so a deadline request cannot wedge an executor.
+  GuardedResult G;
+  {
+    telemetry::HistTimer Latency(ServeRequestLatency);
+    G = runWorkerJob(*Job, &Cache);
+  }
+  ++NumServeCompiles;
+
+  json::Value Resp = responseEnvelope(R.Id, "result");
+  Resp.set("result", encodeWorkerResult(G));
+  R.Conn->sendDoc(Resp);
+  Finish();
+}
+
+void Server::executorLoop() {
+  for (;;) {
+    std::optional<ServeRequest> R = Queue.pop();
+    if (!R)
+      return;
+    executeOne(std::move(*R));
+  }
+}
+
+int Server::run() {
+  unsigned Threads = Opts.Threads != 0
+                         ? Opts.Threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  Executors.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Executors.emplace_back([this] { executorLoop(); });
+
+  // The accept loop: listeners plus the signal self-pipe.
+  for (;;) {
+    pollfd Fds[3];
+    nfds_t N = 0;
+    Fds[N].fd = SignalR;
+    Fds[N].events = POLLIN;
+    Fds[N].revents = 0;
+    ++N;
+    int UnixIdx = -1, TcpIdx = -1;
+    if (Unix.valid()) {
+      UnixIdx = static_cast<int>(N);
+      Fds[N].fd = Unix.fd();
+      Fds[N].events = POLLIN;
+      Fds[N].revents = 0;
+      ++N;
+    }
+    if (Tcp.valid()) {
+      TcpIdx = static_cast<int>(N);
+      Fds[N].fd = Tcp.fd();
+      Fds[N].events = POLLIN;
+      Fds[N].revents = 0;
+      ++N;
+    }
+    if (::poll(Fds, N, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Unpollable listener set: treat as abort.
+    }
+    if (Fds[0].revents != 0) {
+      char Byte = 0;
+      if (::read(SignalR, &Byte, 1) == 1 && Byte == 'I')
+        Aborting.store(true);
+      break; // 'T' (drain) or 'I' (abort) — either ends accepting.
+    }
+    if (UnixIdx >= 0 && Fds[UnixIdx].revents != 0)
+      acceptFrom(Unix);
+    if (TcpIdx >= 0 && Fds[TcpIdx].revents != 0)
+      acceptFrom(Tcp);
+  }
+
+  // No new connections or admissions from here on.
+  Draining.store(true);
+  Unix.close();
+  Tcp.close();
+
+  if (!Aborting.load()) {
+    // Graceful drain: give queued + executing work the grace period.
+    std::unique_lock<std::mutex> Lock(DrainMutex);
+    DrainCv.wait_for(Lock, std::chrono::milliseconds(Opts.DrainTimeoutMs),
+                     [&] { return Outstanding == 0; });
+  }
+
+  // Whatever is still queued never ran; answer it honestly (drain) or
+  // drop it (abort — the client's retry loop handles the dead socket).
+  Queue.close();
+  for (ServeRequest &R : Queue.drainRemaining()) {
+    if (!Aborting.load()) {
+      ++NumServeDrainCancelled;
+      R.Conn->sendDoc(errorResponse(R.Id, "server-draining",
+                                    "server shut down before this request "
+                                    "ran",
+                                    /*Retryable=*/true));
+    }
+    R.Conn->InFlight.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> DLock(DrainMutex);
+    --Outstanding;
+  }
+
+  // pop() returns nullopt once the closed queue empties; an executor
+  // mid-compile finishes its request first (compiles are bounded by the
+  // guard's watchdog, so this join is bounded too).
+  for (std::thread &T : Executors)
+    T.join();
+  Executors.clear();
+
+  sweepConnections(/*All=*/true);
+  return Aborting.load() ? 130 : 0;
+}
+
+json::Value Server::statsToJson() {
+  json::Value D = json::Value::object();
+  D.set("schema", ServeStatsSchemaName);
+  D.set("version", ServeStatsSchemaVersion);
+
+  json::Value Q = json::Value::object();
+  Q.set("depth", static_cast<uint64_t>(Queue.depth()));
+  Q.set("capacity", static_cast<uint64_t>(Queue.capacity()));
+  D.set("queue", std::move(Q));
+
+  json::Value Req = json::Value::object();
+  Req.set("total", NumServeRequests.value());
+  Req.set("compiles", NumServeCompiles.value());
+  Req.set("shed_queue_full", NumServeShedQueueFull.value());
+  Req.set("shed_budget", NumServeShedBudget.value());
+  Req.set("shed_draining", NumServeShedDraining.value());
+  Req.set("shed", NumServeShedQueueFull.value() +
+                      NumServeShedBudget.value() +
+                      NumServeShedDraining.value());
+  Req.set("protocol_errors", NumServeProtocolErrors.value());
+  Req.set("deadline_expired", NumServeDeadlineExpired.value());
+  Req.set("drain_cancelled", NumServeDrainCancelled.value());
+  D.set("requests", std::move(Req));
+
+  json::Value Conns = json::Value::object();
+  json::Value Clients = json::Value::array();
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Conns.set("accepted", NumServeClientsAccepted.value());
+    Conns.set("rejected", NumServeClientsRejected.value());
+    Conns.set("active", static_cast<uint64_t>(Connections.size()));
+    for (const auto &[Id, S] : Connections) {
+      json::Value Row = json::Value::object();
+      Row.set("id", Id);
+      Row.set("peer", S.Conn->peer());
+      Row.set("requests", S.Conn->Requests.load(std::memory_order_relaxed));
+      Row.set("in_flight",
+              S.Conn->InFlight.load(std::memory_order_relaxed));
+      Row.set("shed", S.Conn->Shed.load(std::memory_order_relaxed));
+      Row.set("protocol_errors",
+              S.Conn->ProtocolErrors.load(std::memory_order_relaxed));
+      Row.set("dropped_responses",
+              S.Conn->DroppedResponses.load(std::memory_order_relaxed));
+      Clients.push(std::move(Row));
+    }
+  }
+  D.set("connections", std::move(Conns));
+  D.set("clients", std::move(Clients));
+
+  D.set("cache", Cache.statsToJson());
+  D.set("counters", countersToJson());
+  D.set("histograms", histogramsToJson());
+  return D;
+}

@@ -1,0 +1,184 @@
+//===- service/Server.h - The pirac compile daemon --------------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pirac serve` daemon: accepts concurrent clients over the framed
+/// protocol (service/Framing.h), executes pira.job documents through the
+/// same guarded pipeline the batch driver and sandboxed workers use
+/// (pipeline/Worker.h: decodeWorkerJob / runWorkerJob), and keeps one
+/// CompilationCache permanently warm across requests — the amortization
+/// a one-shot pirac process can never get.
+///
+/// The robustness surface, in one place:
+///
+///   * Admission: one reader thread per connection feeds a bounded FIFO
+///     (service/AdmissionQueue.h) drained by a fixed pool of executor
+///     threads. When the queue is full or a client exceeds its
+///     concurrent-request budget, the request is answered *immediately*
+///     with `server-overloaded` (retryable) — overload degrades into
+///     fast shedding, never an unbounded backlog or a hang.
+///
+///   * Hostile input: frames over the cap are rejected before their
+///     payload is read; zero-length frames, unparsable JSON (the
+///     hardened support/Json parser: depth limit, UTF-8 validation),
+///     and schema violations are answered with `protocol-error`;
+///     a peer that stalls mid-frame or goes idle trips the inactivity
+///     timeout and is disconnected. One hostile client never affects
+///     another — every per-client failure is contained to its
+///     connection.
+///
+///   * Deadlines: a request's `deadline_ms` is enforced server-side —
+///     a request that expires while queued is answered
+///     `deadline-exceeded` without wasting an executor on it.
+///
+///   * Shutdown: requestDrain() (SIGTERM) stops accepting, lets
+///     in-flight work finish up to DrainTimeoutMs, answers whatever
+///     remains queued with `server-draining`, and run() returns 0.
+///     requestAbort() (SIGINT) skips the grace period and returns 130.
+///     Both are async-signal-safe (one byte down a self-pipe).
+///
+///   * Fault injection is process-global state (support/FaultInjection),
+///     so the multi-tenant daemon refuses jobs carrying a non-empty
+///     fault spec with `protocol-error` rather than letting one client
+///     arm faults for everyone.
+///
+/// The `health` and `stats` request types are answered inline by the
+/// connection reader, bypassing the admission queue, so the daemon
+/// stays observable precisely when it is overloaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_SERVER_H
+#define PIRA_SERVICE_SERVER_H
+
+#include "pipeline/Cache.h"
+#include "service/AdmissionQueue.h"
+#include "service/Framing.h"
+#include "service/Listener.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pira {
+namespace service {
+
+/// Serve-stats document constants.
+inline constexpr const char *ServeStatsSchemaName = "pira.serve-stats";
+inline constexpr int ServeStatsSchemaVersion = 1;
+
+struct ServerOptions {
+  /// Unix socket path; empty disables the unix transport.
+  std::string SocketPath;
+  /// Loopback TCP port; -1 disables, 0 asks the kernel (see tcpPort()).
+  int TcpPort = -1;
+  /// Executor threads; 0 = hardware concurrency.
+  unsigned Threads = 0;
+  /// Admission-queue capacity; pushes beyond it shed.
+  size_t QueueDepth = 128;
+  /// Concurrent connections; accepts beyond it are answered
+  /// `server-overloaded` and closed.
+  size_t MaxClients = 64;
+  /// Concurrent admitted-but-unanswered requests per client.
+  uint64_t PerClientBudget = 16;
+  /// Frame cap (bytes); oversized frames are rejected unread.
+  uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Per-connection inactivity timeout (idle + slowloris), ms; 0 = off.
+  int IdleTimeoutMs = 30000;
+  /// SIGTERM grace period for in-flight work, ms.
+  int DrainTimeoutMs = 5000;
+  /// Disk tier for the warm cache; empty = memory-only.
+  std::string CacheDir;
+  /// Accept/disconnect notices on stderr.
+  bool Verbose = false;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Creates the listening sockets (and the signal self-pipe). Must
+  /// succeed before run().
+  Status bind();
+
+  /// Serves until requestDrain() or requestAbort(); returns the process
+  /// exit code (0 after a clean drain, 130 after an abort).
+  int run();
+
+  /// Begin graceful drain (SIGTERM semantics). Async-signal-safe.
+  void requestDrain();
+
+  /// Fast abort (SIGINT semantics). Async-signal-safe.
+  void requestAbort();
+
+  /// After bind(): the actual TCP port (resolves a 0 request).
+  uint16_t tcpPort() const;
+
+  /// The "pira.serve-stats" v1 document: queue, request, and connection
+  /// tallies, per-client rows, the warm cache's stats block, and the v5
+  /// telemetry snapshot (counters + histograms).
+  json::Value statsToJson();
+
+  /// The warm cache (tests pre-seed or inspect it).
+  CompilationCache &cache() { return Cache; }
+
+private:
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void executorLoop();
+  /// Handles one parsed request document on \p Conn.
+  void handleRequest(const std::shared_ptr<Connection> &Conn,
+                     const json::Value &Doc);
+  void executeOne(ServeRequest R);
+  void acceptFrom(const Listener &L);
+  /// Joins reader threads whose connections are done; \p All joins
+  /// everything (shutdown).
+  void sweepConnections(bool All);
+
+  ServerOptions Opts;
+  Listener Unix;
+  Listener Tcp;
+  int SignalR = -1; ///< Self-pipe: read end (polled by run()).
+  int SignalW = -1; ///< Self-pipe: write end (signal handlers).
+
+  CompilationCache Cache;
+  AdmissionQueue Queue;
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Aborting{false};
+
+  /// Admitted-but-unanswered requests (queued + executing), the drain
+  /// barrier's predicate. Guarded by DrainMutex so a decrement and its
+  /// notify can never race a waiter into a missed wakeup.
+  std::mutex DrainMutex;
+  std::condition_variable DrainCv;
+  uint64_t Outstanding = 0;
+
+  std::mutex RegistryMutex;
+  uint64_t NextClientId = 1;
+  struct Slot {
+    std::shared_ptr<Connection> Conn;
+    std::thread Reader;
+  };
+  std::map<uint64_t, Slot> Connections;
+
+  std::vector<std::thread> Executors;
+};
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_SERVER_H

@@ -39,6 +39,10 @@ const char *pira::errorCodeName(ErrorCode Code) {
     return "child-timeout";
   case ErrorCode::SearchExhausted:
     return "search-exhausted";
+  case ErrorCode::ServerOverloaded:
+    return "server-overloaded";
+  case ErrorCode::ProtocolError:
+    return "protocol-error";
   case ErrorCode::Internal:
     return "internal";
   }
@@ -54,6 +58,7 @@ ErrorCode pira::errorCodeFromName(std::string_view Name) {
       ErrorCode::DeadlineExceeded,  ErrorCode::FaultInjected,
       ErrorCode::ChildCrashed, ErrorCode::ChildKilled,
       ErrorCode::ChildTimeout, ErrorCode::SearchExhausted,
+      ErrorCode::ServerOverloaded, ErrorCode::ProtocolError,
       ErrorCode::Internal,
   };
   for (ErrorCode C : All)

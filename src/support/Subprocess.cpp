@@ -7,13 +7,13 @@
 
 #include "support/Subprocess.h"
 
+#include "support/Io.h"
 #include "support/Telemetry.h"
 
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstring>
-#include <mutex>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -151,9 +151,10 @@ Expected<SubprocessResult> pira::runSubprocess(const SubprocessOptions &Opts) {
                          "empty argv");
 
   // A child that stops reading must not SIGPIPE the whole worker; the
-  // write loop handles EPIPE instead.
-  static std::once_flag SigpipeOnce;
-  std::call_once(SigpipeOnce, [] { ::signal(SIGPIPE, SIG_IGN); });
+  // write loop handles EPIPE instead. (pirac main ignores it for the
+  // whole process up front; this covers library users who call
+  // runSubprocess directly.)
+  io::ignoreSigpipe();
 
   Fd InR, InW, OutR, OutW, ErrR, ErrW, StatusR, StatusW;
   if (!makePipe(InR, InW) || !makePipe(OutR, OutW) || !makePipe(ErrR, ErrW) ||
@@ -192,9 +193,12 @@ Expected<SubprocessResult> pira::runSubprocess(const SubprocessOptions &Opts) {
 
   // The status pipe resolves the exec race first: CLOEXEC closes it with
   // zero bytes on success; an errno payload means exec itself failed.
+  // readFull retries EINTR — a stray signal here must not make a failed
+  // exec look like a successful spawn (a short read used to do exactly
+  // that).
   {
     int ExecErrno = 0;
-    ssize_t N = ::read(StatusR.Raw, &ExecErrno, sizeof(ExecErrno));
+    ssize_t N = io::readFull(StatusR.Raw, &ExecErrno, sizeof(ExecErrno));
     if (N == static_cast<ssize_t>(sizeof(ExecErrno))) {
       int WStatus = 0;
       ::waitpid(Pid, &WStatus, 0);

@@ -713,3 +713,116 @@ TEST(JournalTest, ReplayTalliesLandInTheTelemetryCounters) {
   telemetry::reset();
   std::filesystem::remove(Path);
 }
+
+TEST(JournalTest, ZeroLengthJournalStartsFreshInsteadOfFailing) {
+  // A previous run died between creating the file and writing the
+  // header: resume must start over, not error out or replay garbage.
+  std::filesystem::path Path = scratchPath("empty");
+  { std::ofstream Out(Path); }
+  ASSERT_TRUE(std::filesystem::exists(Path));
+  ASSERT_EQ(std::filesystem::file_size(Path), 0u);
+
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+
+  telemetry::reset();
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 0u);
+  EXPECT_EQ(counterValue("NumJournalEmptyResumes"), 1u);
+  EXPECT_GT(std::filesystem::file_size(Path), 0u); // header landed
+
+  // And the restarted journal is fully functional: the batch records
+  // into it and a second resume replays everything.
+  Opts.Journal = &J;
+  EXPECT_EQ(compileBatch(Batch, M, Opts).Succeeded, 2u);
+  BatchJournal J2;
+  ASSERT_TRUE(J2.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J2.resumedCount(), 2u);
+  telemetry::reset();
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, HeaderOnlyJournalResumesWithZeroRecords) {
+  // The run died after the header fsync but before any record: a
+  // legitimate journal with nothing done yet.
+  std::filesystem::path Path = scratchPath("headeronly");
+  std::vector<BatchItem> Batch = smallBatch(2);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+  {
+    BatchJournal J;
+    ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), false).ok());
+  }
+  uintmax_t HeaderSize = std::filesystem::file_size(Path);
+  ASSERT_GT(HeaderSize, 0u);
+
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 0u);
+  // The resume must not have rewritten (truncated) the file.
+  EXPECT_EQ(std::filesystem::file_size(Path), HeaderSize);
+  // Appends continue from the header, on a record boundary.
+  Opts.Journal = &J;
+  EXPECT_EQ(compileBatch(Batch, M, Opts).Succeeded, 2u);
+  BatchJournal J2;
+  ASSERT_TRUE(J2.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J2.resumedCount(), 2u);
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, TornHeaderLineRestartsFresh) {
+  // kill -9 mid-header-write leaves a partial first line with no
+  // newline; there is nothing salvageable, so the journal restarts.
+  std::filesystem::path Path = scratchPath("tornheader");
+  {
+    std::ofstream Out(Path);
+    Out << "{\"schema\": \"pira.journal\", \"vers";
+  }
+  std::vector<BatchItem> Batch = smallBatch(1);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+
+  telemetry::reset();
+  BatchJournal J;
+  ASSERT_TRUE(J.open(Path.string(), Digest, Batch.size(), true).ok());
+  EXPECT_EQ(J.resumedCount(), 0u);
+  EXPECT_EQ(counterValue("NumJournalHeaderRestarts"), 1u);
+  EXPECT_EQ(counterValue("NumJournalEmptyResumes"), 0u);
+  telemetry::reset();
+  std::filesystem::remove(Path);
+}
+
+TEST(JournalTest, ForeignFileIsRefusedNotOverwritten) {
+  // A complete (newline-terminated) first line that is not JSON means
+  // the path points at somebody else's file; resuming must refuse
+  // rather than truncate it into a fresh journal.
+  std::filesystem::path Path = scratchPath("foreign");
+  const std::string Contents = "PID 1234 started at 12:00\n";
+  {
+    std::ofstream Out(Path);
+    Out << Contents;
+  }
+  std::vector<BatchItem> Batch = smallBatch(1);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  std::string Digest = computeJournalDigest(Batch, M, Opts);
+
+  BatchJournal J;
+  Status S = J.open(Path.string(), Digest, Batch.size(), true);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.toString().find("not a pira.journal"), std::string::npos);
+
+  // The file survives byte-for-byte.
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), Contents);
+  std::filesystem::remove(Path);
+}

@@ -89,6 +89,22 @@ expect 1 "isolated child crash"         -- "$PIRAC" good.pir good.pir --isolate 
                                              --fault-inject crash.segv:2
 expect 1 "budget rejection"             -- "$PIRAC" good.pir --max-instructions 1
 
+# --- SIGPIPE: a vanished stdout reader is a structured failure --------------
+# With SIGPIPE ignored process-wide, a --stats-out - pipe whose reader
+# quits early must surface as a report-write failure (exit 3), never as
+# a signal death (exit 141). Enough inputs to overflow the pipe buffer
+# make the EPIPE deterministic.
+SINK_INPUTS=$(for _ in $(seq 1 200); do printf 'good.pir '; done)
+# shellcheck disable=SC2086
+"$PIRAC" $SINK_INPUTS --stats-out - 2> /dev/null | head -c 1 > /dev/null
+got=${PIPESTATUS[0]}
+if [ "$got" -eq 3 ]; then
+  echo "ok: EPIPE on stdout report is exit 3"
+else
+  echo "FAIL: EPIPE on stdout report: expected exit 3, got $got" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
 # --- exit 2: usage errors ---------------------------------------------------
 expect 2 "unknown flag"                 -- "$PIRAC" --definitely-not-a-flag
 expect 2 "unknown strategy"             -- "$PIRAC" good.pir --strategy bogus
@@ -101,6 +117,13 @@ expect 2 "two stdout report sinks"      -- "$PIRAC" good.pir \
                                              --stats-out - --metrics-out -
 expect 2 "stats+trace both on stdout"   -- "$PIRAC" good.pir \
                                              --stats-out - --trace-out -
+expect 2 "serve without a transport"    -- "$PIRAC" serve
+expect 2 "client without an address"    -- "$PIRAC" --client good.pir
+expect 2 "client cannot isolate"        -- "$PIRAC" --client \
+                                             --socket d.sock --isolate good.pir
+expect 2 "client cannot journal"        -- "$PIRAC" --client \
+                                             --socket d.sock --journal j.jsonl good.pir
+expect 2 "daemon-stats needs an address" -- "$PIRAC" --daemon-stats
 
 # --- exit 3: internal errors ------------------------------------------------
 # A journal written under one configuration refuses to resume another.
@@ -116,6 +139,41 @@ expect 3 "unwritable stats path"        -- "$PIRAC" good.pir \
                                              --stats-out /no/such/dir/s.json
 expect 3 "unwritable metrics path"      -- "$PIRAC" good.pir \
                                              --metrics-out /no/such/dir/m.prom
+# A serve socket whose directory cannot exist never binds.
+expect 3 "unbindable serve socket"      -- "$PIRAC" serve \
+                                             --socket /no/such/dir/d.sock
+
+# --- the daemon round trip ---------------------------------------------------
+# Start a daemon, compile through it, drain it with SIGTERM: exit 0 on
+# both sides. A client pointed at a socket nobody serves exhausts its
+# retries into per-item failures — the ordinary exit-1 taxonomy, not a
+# hang and not a crash.
+expect 1 "client with no daemon"        -- "$PIRAC" --client \
+                                             --socket "$WORK/nobody.sock" \
+                                             --client-retries 1 good.pir
+
+timeout 60 "$PIRAC" serve --socket "$WORK/d.sock" --threads 2 \
+  2> "$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q ready "$WORK/serve.log" 2> /dev/null && break
+  sleep 0.05
+done
+expect 0 "clean batch via the daemon"   -- "$PIRAC" --client \
+                                             --socket "$WORK/d.sock" \
+                                             good.pir good.pir --jobs 2
+expect 1 "mixed batch via the daemon"   -- "$PIRAC" --client \
+                                             --socket "$WORK/d.sock" \
+                                             good.pir bad.pir
+kill -TERM "$SERVE_PID" 2> /dev/null
+wait "$SERVE_PID"
+got=$?
+if [ "$got" -eq 0 ] && grep -q drained "$WORK/serve.log"; then
+  echo "ok: SIGTERM drains the daemon to exit 0"
+else
+  echo "FAIL: SIGTERM drain: expected exit 0 + drain notice, got $got" >&2
+  FAILURES=$((FAILURES + 1))
+fi
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES taxonomy check(s) failed" >&2
