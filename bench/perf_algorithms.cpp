@@ -33,6 +33,7 @@
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/SpillCost.h"
 #include "sched/ListScheduler.h"
+#include "support/ThreadPool.h"
 #include "workloads/RandomProgram.h"
 
 #include <benchmark/benchmark.h>
@@ -42,8 +43,11 @@ using namespace pira;
 namespace {
 
 Function makeBlock(unsigned Instructions) {
+  // Block 0 (the block every per-block bench analyzes) holds exactly
+  // `Instructions` instructions: two seed defs, the value-producing body,
+  // and the trailing branch.
   RandomProgramOptions Opts;
-  Opts.InstructionsPerBlock = Instructions / 2; // two body blocks
+  Opts.InstructionsPerBlock = Instructions > 3 ? Instructions - 3 : 1;
   Opts.Seed = pira::bench::benchSeed(4242);
   Opts.FloatPercent = 40;
   Opts.MemoryPercent = 25;
@@ -58,9 +62,14 @@ void BM_DependenceGraph(benchmark::State &State) {
     benchmark::DoNotOptimize(G.size());
   }
 }
-BENCHMARK(BM_DependenceGraph)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_DependenceGraph)
+    ->Arg(32)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
 
 void BM_TransitiveClosure(benchmark::State &State) {
+  // The production path: pre-closure DAG reduction (sink peel, component
+  // split, chain collapse, transitive strip) then the reverse-topological
+  // sweep. Compare with BM_TransitiveClosureUnreduced at equal args for
+  // the reduced-over-unreduced speedup the CI perf gate tracks.
   Function F = makeBlock(static_cast<unsigned>(State.range(0)));
   MachineModel M = MachineModel::rs6000(32);
   DependenceGraph G(F, 0, M);
@@ -69,7 +78,39 @@ void BM_TransitiveClosure(benchmark::State &State) {
     benchmark::DoNotOptimize(R.count());
   }
 }
-BENCHMARK(BM_TransitiveClosure)->Arg(32)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_TransitiveClosure)
+    ->Arg(32)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_TransitiveClosureParallel(benchmark::State &State) {
+  // The same reduced closure with independent components closed on the
+  // thread pool (the single-function --jobs path). Byte-identical result;
+  // the delta against BM_TransitiveClosure is pure component parallelism.
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  DependenceGraph G(F, 0, M);
+  ThreadPool Pool;
+  for (auto _ : State) {
+    BitMatrix R = G.reachability(&Pool);
+    benchmark::DoNotOptimize(R.count());
+  }
+}
+BENCHMARK(BM_TransitiveClosureParallel)->Arg(1024)->Arg(4096)->UseRealTime();
+
+void BM_TransitiveClosureUnreduced(benchmark::State &State) {
+  // Word-parallel Warshall straight over the adjacency matrix — the
+  // pre-reduction production path, kept as the ratio denominator for the
+  // closure_reduction_speedup gate.
+  Function F = makeBlock(static_cast<unsigned>(State.range(0)));
+  MachineModel M = MachineModel::rs6000(32);
+  DependenceGraph G(F, 0, M);
+  for (auto _ : State) {
+    BitMatrix R = G.adjacency();
+    R.transitiveClosure();
+    benchmark::DoNotOptimize(R.count());
+  }
+}
+BENCHMARK(BM_TransitiveClosureUnreduced)
+    ->Arg(32)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
 
 void BM_TransitiveClosureSetBased(benchmark::State &State) {
   // The pre-rewrite per-node std::set closure, kept as the differential

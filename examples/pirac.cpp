@@ -585,7 +585,9 @@ int main(int argc, char **argv) {
       Tournament = true;
     } else if (Arg == "--corpus-count") {
       std::string V;
-      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1000000, CorpusCount))
+      // 0 is allowed: "run the harness over nothing" yields a valid
+      // zero-row report, which scripted sweeps rely on.
+      if (!NextValue(V) || !parseCliCount(Arg, V, 0, 1000000, CorpusCount))
         return 2;
     } else if (Arg == "--corpus-insts") {
       std::string V;
@@ -743,11 +745,16 @@ int main(int argc, char **argv) {
     TOpts.Budget = Budget;
     TOpts.Oracle = OracleOpts;
     std::vector<BatchItem> Corpus;
-    if (Batch.empty()) {
+    if (Inputs.empty() && InputFailures.empty()) {
       Corpus = makeTournamentCorpus(static_cast<unsigned>(CorpusCount),
                                     static_cast<unsigned>(CorpusInsts),
                                     CorpusSeed, TOpts);
     } else {
+      // Input files form the corpus — even when every one failed to
+      // parse. Falling back to a generated corpus here would silently
+      // score the strategies on functions the user never supplied; an
+      // all-failed corpus instead yields a valid zero-row report and
+      // the compile-failure exit code below.
       Corpus = std::move(Batch);
       TOpts.CorpusCount = static_cast<unsigned>(Corpus.size());
     }

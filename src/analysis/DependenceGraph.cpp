@@ -9,11 +9,22 @@
 
 #include "ir/Function.h"
 #include "machine/MachineModel.h"
+#include "support/Telemetry.h"
+#include "transforms/DagReduce.h"
 
 #include <cassert>
 #include <map>
 
 using namespace pira;
+
+PIRA_STAT(NumClosureComponents,
+          "Weakly connected components split off before closure");
+PIRA_STAT(NumClosureChainsCollapsed,
+          "Single-entry/single-exit chains collapsed before closure");
+PIRA_STAT(NumClosureEdgesStripped,
+          "Redundant transitive edges stripped before closure");
+PIRA_STAT(NumClosureSinksPeeled,
+          "Universal terminator sinks peeled before closure");
 
 const char *pira::depKindName(DepKind Kind) {
   switch (Kind) {
@@ -32,23 +43,65 @@ const char *pira::depKindName(DepKind Kind) {
   return "?";
 }
 
+namespace {
+constexpr unsigned NoEdge = ~0u;
+} // namespace
+
 void DependenceGraph::addEdge(unsigned From, unsigned To, DepKind Kind,
                               unsigned Latency) {
-  assert(From < NumNodes && To < NumNodes && From != To &&
-         "bad dependence edge");
+  assert(From < NumNodes && To < NumNodes && From < To &&
+         "bad dependence edge; node order must stay topological");
   if (Adjacent.test(From, To)) {
-    // Keep the strongest (largest latency) constraint for duplicates.
-    for (unsigned EI : Succ[From]) {
+    // Keep the strongest (largest latency) constraint for duplicates. The
+    // per-From chain makes this a walk over From's edges only.
+    for (unsigned EI = FirstFrom[From]; EI != NoEdge; EI = NextFrom[EI]) {
       DepEdge &E = Edges[EI];
-      if (E.To == To && E.Latency < Latency)
-        E.Latency = Latency;
+      if (E.To == To) {
+        if (E.Latency < Latency)
+          E.Latency = Latency;
+        return;
+      }
     }
+    assert(false && "adjacency bit set without a matching edge");
     return;
   }
   Adjacent.set(From, To);
-  Succ[From].push_back(static_cast<unsigned>(Edges.size()));
-  Pred[To].push_back(static_cast<unsigned>(Edges.size()));
+  unsigned EI = static_cast<unsigned>(Edges.size());
+  NextFrom.push_back(FirstFrom[From]);
+  FirstFrom[From] = EI;
   Edges.push_back({From, To, Kind, Latency});
+}
+
+void DependenceGraph::buildCsr() {
+  unsigned NumEdges = static_cast<unsigned>(Edges.size());
+  unsigned *SOff = Storage.allocateZeroed<unsigned>(NumNodes + 1);
+  unsigned *POff = Storage.allocateZeroed<unsigned>(NumNodes + 1);
+  for (const DepEdge &E : Edges) {
+    ++SOff[E.From + 1];
+    ++POff[E.To + 1];
+  }
+  for (unsigned I = 0; I != NumNodes; ++I) {
+    SOff[I + 1] += SOff[I];
+    POff[I + 1] += POff[I];
+  }
+  unsigned *SIdx = Storage.allocate<unsigned>(NumEdges);
+  unsigned *PIdx = Storage.allocate<unsigned>(NumEdges);
+  {
+    // Stable fill in edge-insertion order, matching the order the old
+    // per-node vectors accumulated.
+    std::vector<unsigned> SFill(SOff, SOff + NumNodes);
+    std::vector<unsigned> PFill(POff, POff + NumNodes);
+    for (unsigned EI = 0; EI != NumEdges; ++EI) {
+      SIdx[SFill[Edges[EI].From]++] = EI;
+      PIdx[PFill[Edges[EI].To]++] = EI;
+    }
+  }
+  SuccOff = SOff;
+  SuccIdx = SIdx;
+  PredOff = POff;
+  PredIdx = PIdx;
+  FirstFrom = {};
+  NextFrom = {};
 }
 
 /// Returns true when the two memory instructions provably access disjoint
@@ -62,7 +115,7 @@ void DependenceGraph::addEdge(unsigned From, unsigned To, DepKind Kind,
 static bool provablyDisjoint(const Function &F, const Instruction &A,
                              const Instruction &B) {
   assert(A.isMemory() && B.isMemory() && "not memory instructions");
-  if (A.arraySymbol() != B.arraySymbol())
+  if (A.arraySymbolId() != B.arraySymbolId())
     return true;
   unsigned Size = F.arraySize(A.arraySymbol());
   if (Size == 0)
@@ -85,8 +138,7 @@ DependenceGraph::DependenceGraph(const Function &F, unsigned BlockIdx,
                                  const MachineModel &Machine) {
   const BasicBlock &BB = F.block(BlockIdx);
   NumNodes = BB.size();
-  Succ.resize(NumNodes);
-  Pred.resize(NumNodes);
+  FirstFrom.assign(NumNodes, NoEdge);
   Adjacent = BitMatrix(NumNodes);
 
   // LastDef[R] / readers since that def, for register dependences. These
@@ -149,13 +201,21 @@ DependenceGraph::DependenceGraph(const Function &F, unsigned BlockIdx,
   if (NumNodes != 0 && BB.inst(NumNodes - 1).isTerminator())
     for (unsigned I = 0; I + 1 < NumNodes; ++I)
       addEdge(I, NumNodes - 1, DepKind::Control, 0);
+
+  buildCsr();
 }
 
-BitMatrix DependenceGraph::reachability() const {
-  BitMatrix M(NumNodes);
+BitMatrix DependenceGraph::reachability(ThreadPool *Pool) const {
+  std::vector<std::pair<unsigned, unsigned>> EdgePairs;
+  EdgePairs.reserve(Edges.size());
   for (const DepEdge &E : Edges)
-    M.set(E.From, E.To);
-  M.transitiveClosure();
+    EdgePairs.push_back({E.From, E.To});
+  dagreduce::ReduceStats RS;
+  BitMatrix M = dagreduce::reducedClosure(NumNodes, EdgePairs, Pool, &RS);
+  NumClosureComponents += RS.Components;
+  NumClosureChainsCollapsed += RS.Chains;
+  NumClosureEdgesStripped += RS.StrippedEdges;
+  NumClosureSinksPeeled += RS.PeeledSink ? 1 : 0;
   return M;
 }
 
@@ -168,7 +228,7 @@ bool DependenceGraph::hasPath(unsigned From, unsigned To) const {
   while (!Stack.empty()) {
     unsigned Node = Stack.back();
     Stack.pop_back();
-    for (unsigned EI : Succ[Node]) {
+    for (unsigned EI : succEdges(Node)) {
       unsigned Next = Edges[EI].To;
       if (Next == To)
         return true;

@@ -14,13 +14,23 @@
 /// dependence exists, exactly as the paper observes, so Et then "contains
 /// exactly the real constraints on the scheduler."
 ///
+/// Every edge satisfies From < To: dependences always point from an earlier
+/// instruction to a later one, so node order is a topological order. The
+/// reduction pipeline behind reachability() relies on this invariant.
+///
+/// Adjacency is stored in CSR form (flat offset/index arrays in an arena,
+/// returned as spans): one contiguous allocation instead of one vector per
+/// node, built once after construction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_ANALYSIS_DEPENDENCEGRAPH_H
 #define PIRA_ANALYSIS_DEPENDENCEGRAPH_H
 
+#include "support/Arena.h"
 #include "support/BitMatrix.h"
 
+#include <span>
 #include <vector>
 
 namespace pira {
@@ -28,6 +38,7 @@ namespace pira {
 class BasicBlock;
 class Function;
 class MachineModel;
+class ThreadPool;
 
 /// Classifies why one instruction must precede another.
 enum class DepKind : unsigned {
@@ -60,20 +71,25 @@ public:
   DependenceGraph(const Function &F, unsigned BlockIdx,
                   const MachineModel &Machine);
 
+  DependenceGraph(const DependenceGraph &) = delete;
+  DependenceGraph &operator=(const DependenceGraph &) = delete;
+
   /// Returns the number of instructions (vertices).
   unsigned size() const { return NumNodes; }
 
   /// Returns all edges in deterministic order.
   const std::vector<DepEdge> &edges() const { return Edges; }
 
-  /// Returns the indices into edges() of edges leaving \p Node.
-  const std::vector<unsigned> &succEdges(unsigned Node) const {
-    return Succ[Node];
+  /// Returns the indices into edges() of edges leaving \p Node, in
+  /// insertion order.
+  std::span<const unsigned> succEdges(unsigned Node) const {
+    return {SuccIdx + SuccOff[Node], SuccOff[Node + 1] - SuccOff[Node]};
   }
 
-  /// Returns the indices into edges() of edges entering \p Node.
-  const std::vector<unsigned> &predEdges(unsigned Node) const {
-    return Pred[Node];
+  /// Returns the indices into edges() of edges entering \p Node, in
+  /// insertion order.
+  std::span<const unsigned> predEdges(unsigned Node) const {
+    return {PredIdx + PredOff[Node], PredOff[Node + 1] - PredOff[Node]};
   }
 
   /// Returns true when an edge (\p From, \p To) of any kind exists.
@@ -81,9 +97,17 @@ public:
     return Adjacent.test(From, To);
   }
 
+  /// Returns the direct-edge adjacency matrix (no closure).
+  const BitMatrix &adjacency() const { return Adjacent; }
+
   /// Returns directed reachability (the transitive closure of the edge
   /// relation). Entry (u, v) is set iff a nonempty path u -> v exists.
-  BitMatrix reachability() const;
+  ///
+  /// Computed through the pre-closure DAG reduction (component split,
+  /// chain collapse, transitive-edge strip); bit-identical to closing the
+  /// adjacency matrix directly. \p Pool, when non-null, closes independent
+  /// components in parallel with no effect on the result.
+  BitMatrix reachability(ThreadPool *Pool = nullptr) const;
 
   /// Returns true when a nonempty directed path \p From -> \p To exists.
   /// Convenience over reachability() for one-off queries.
@@ -91,12 +115,25 @@ public:
 
 private:
   void addEdge(unsigned From, unsigned To, DepKind Kind, unsigned Latency);
+  /// Freezes the per-node edge lists into CSR arrays; called once at the
+  /// end of construction.
+  void buildCsr();
 
   unsigned NumNodes = 0;
   std::vector<DepEdge> Edges;
-  std::vector<std::vector<unsigned>> Succ;
-  std::vector<std::vector<unsigned>> Pred;
   BitMatrix Adjacent;
+
+  /// CSR adjacency over edge indices, arena-backed.
+  Arena Storage;
+  const unsigned *SuccOff = nullptr;
+  const unsigned *SuccIdx = nullptr;
+  const unsigned *PredOff = nullptr;
+  const unsigned *PredIdx = nullptr;
+
+  /// Construction-only intrusive per-From edge chains for duplicate
+  /// detection (freed by buildCsr).
+  std::vector<unsigned> FirstFrom;
+  std::vector<unsigned> NextFrom;
 };
 
 } // namespace pira

@@ -23,21 +23,24 @@ PIRA_STAT(NumFdgMachineConstraintPairs,
 
 FalseDependenceGraph::FalseDependenceGraph(const Function &F,
                                            unsigned BlockIdx,
-                                           const MachineModel &Machine) {
+                                           const MachineModel &Machine,
+                                           ThreadPool *ClosurePool) {
   DependenceGraph Gs(F, BlockIdx, Machine);
-  build(F, BlockIdx, Gs, Machine);
+  build(F, BlockIdx, Gs, Machine, ClosurePool);
 }
 
 FalseDependenceGraph::FalseDependenceGraph(const Function &F,
                                            unsigned BlockIdx,
                                            const DependenceGraph &Gs,
-                                           const MachineModel &Machine) {
-  build(F, BlockIdx, Gs, Machine);
+                                           const MachineModel &Machine,
+                                           ThreadPool *ClosurePool) {
+  build(F, BlockIdx, Gs, Machine, ClosurePool);
 }
 
 void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
                                  const DependenceGraph &Gs,
-                                 const MachineModel &Machine) {
+                                 const MachineModel &Machine,
+                                 ThreadPool *ClosurePool) {
   PIRA_TIME_SCOPE("pig/fdg");
   const BasicBlock &BB = F.block(BlockIdx);
   unsigned N = Gs.size();
@@ -48,11 +51,13 @@ void FalseDependenceGraph::build(const Function &F, unsigned BlockIdx,
   // the serial bottleneck each batch worker runs, so it stays O(N^2/64)
   // per step.
 
-  // Et part 1: the transitive closure of Gs, directions removed.
+  // Et part 1: the transitive closure of Gs, directions removed. The
+  // closure runs through the pre-closure DAG reduction; independent
+  // components close in parallel when a pool is attached.
   BitMatrix Et;
   {
     PIRA_TIME_SCOPE("pig/closure");
-    Et = Gs.reachability();
+    Et = Gs.reachability(ClosurePool);
     Et.symmetrize();
   }
 

@@ -215,7 +215,8 @@ private:
 
 ParallelInterferenceGraph::ParallelInterferenceGraph(
     const Function &F, const Webs &W, const InterferenceGraph &IG,
-    const MachineModel &Machine, bool UseRegions) {
+    const MachineModel &Machine, bool UseRegions,
+    ThreadPool *ClosurePool) {
   PIRA_TIME_SCOPE("pig/build");
   assert(!F.isAllocated() && "the PIG is built over symbolic code");
   unsigned NumWebs = W.numWebs();
@@ -229,7 +230,7 @@ ParallelInterferenceGraph::ParallelInterferenceGraph(
   // Block-level Ef pairs between defining instructions, mapped to webs.
   for (unsigned B = 0, NB = F.numBlocks(); B != NB; ++B) {
     DependenceGraph Gs(F, B, Machine);
-    FalseDependenceGraph FDG(F, B, Gs, Machine);
+    FalseDependenceGraph FDG(F, B, Gs, Machine, ClosurePool);
     std::vector<unsigned> Height = computeHeights(Gs);
     const BasicBlock &BB = F.block(B);
     for (const auto &[U, V] : FDG.parallelPairs().edgeList()) {

@@ -74,7 +74,8 @@ public:
   std::vector<unsigned> successors() const {
     if (!hasTerminator())
       return {};
-    return Insts.back().targets();
+    const TargetList &T = Insts.back().targets();
+    return std::vector<unsigned>(T.begin(), T.end());
   }
 
 private:

@@ -11,17 +11,26 @@
 /// per value) and after (physical registers), matching the paper's setup in
 /// which allocation is a renaming of register operands.
 ///
+/// The layout is data-oriented: operand lists use inline small-vector
+/// storage (no instruction in the shipped workloads exceeds three uses or
+/// two branch targets, so the common case never touches the heap) and the
+/// array name of a memory operand is an interned Symbol — one word, pointer
+/// comparison for equality. A block's instruction vector is therefore one
+/// flat contiguous buffer, which is what the per-block dependence and
+/// closure passes iterate over.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_IR_INSTRUCTION_H
 #define PIRA_IR_INSTRUCTION_H
 
 #include "ir/Opcode.h"
+#include "support/SmallVector.h"
+#include "support/StringInterner.h"
 
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace pira {
 
@@ -31,6 +40,12 @@ using Reg = unsigned;
 
 /// Sentinel meaning "no register".
 inline constexpr Reg NoReg = ~0u;
+
+/// Inline-capacity operand list: covers every opcode's maximum use count.
+using UseList = SmallVector<Reg, 3>;
+
+/// Inline-capacity branch-target list: covers conditional branches.
+using TargetList = SmallVector<unsigned, 2>;
 
 /// One IR instruction.
 ///
@@ -42,7 +57,7 @@ public:
   Instruction() = default;
 
   /// Builds an instruction from parts; prefer the IRBuilder helpers.
-  Instruction(Opcode Op, Reg Def, std::vector<Reg> Uses, int64_t Imm = 0)
+  Instruction(Opcode Op, Reg Def, UseList Uses, int64_t Imm = 0)
       : Op(Op), Def(Def), Uses(std::move(Uses)), Imm(Imm) {}
 
   /// Returns the opcode.
@@ -63,7 +78,7 @@ public:
   /// Returns the register operands read by the instruction. For Load this
   /// is the optional index register; for Store, the stored value first and
   /// then the optional index register.
-  const std::vector<Reg> &uses() const { return Uses; }
+  const UseList &uses() const { return Uses; }
 
   /// Replaces use operand \p Idx.
   void setUse(unsigned Idx, Reg R) {
@@ -81,19 +96,24 @@ public:
   /// Returns the addressed array name (memory ops only).
   const std::string &arraySymbol() const {
     assert(info().IsMemory && "not a memory instruction");
+    return *Array;
+  }
+
+  /// Returns the interned array name for pointer-equality comparison.
+  /// Equal symbols are the same pointer.
+  Symbol arraySymbolId() const {
+    assert(info().IsMemory && "not a memory instruction");
     return Array;
   }
 
-  /// Sets the addressed array name.
-  void setArraySymbol(std::string Name) { Array = std::move(Name); }
+  /// Sets the addressed array name (interned).
+  void setArraySymbol(const std::string &Name) { Array = internString(Name); }
 
   /// Returns branch target block indices (terminators only).
-  const std::vector<unsigned> &targets() const { return Targets; }
+  const TargetList &targets() const { return Targets; }
 
   /// Sets branch target block indices.
-  void setTargets(std::vector<unsigned> Blocks) {
-    Targets = std::move(Blocks);
-  }
+  void setTargets(TargetList Blocks) { Targets = std::move(Blocks); }
 
   /// Retargets branch target \p Idx to block \p NewBlock.
   void setTarget(unsigned Idx, unsigned NewBlock) {
@@ -116,10 +136,10 @@ public:
 private:
   Opcode Op = Opcode::Ret;
   Reg Def = NoReg;
-  std::vector<Reg> Uses;
+  UseList Uses;
   int64_t Imm = 0;
-  std::string Array;
-  std::vector<unsigned> Targets;
+  Symbol Array = emptySymbol();
+  TargetList Targets;
 };
 
 } // namespace pira

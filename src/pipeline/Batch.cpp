@@ -24,6 +24,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -479,35 +480,20 @@ private:
         return;
     }
     std::lock_guard<std::mutex> Lock(EmitMutex);
-    uint64_t D = Done.load(std::memory_order_relaxed);
-    std::string Line = "pirac: " + std::to_string(D) + "/" +
-                       std::to_string(Total) + " done";
-    Line += ", " + std::to_string(Failed.load(std::memory_order_relaxed)) +
-            " failed";
-    Line += ", " + std::to_string(Degraded.load(std::memory_order_relaxed)) +
-            " degraded";
-    Line += ", " + std::to_string(Crashed.load(std::memory_order_relaxed)) +
-            " crashed";
+    ProgressSnapshot S;
+    S.Done = Done.load(std::memory_order_relaxed);
+    S.Total = Total;
+    S.Failed = Failed.load(std::memory_order_relaxed);
+    S.Degraded = Degraded.load(std::memory_order_relaxed);
+    S.Crashed = Crashed.load(std::memory_order_relaxed);
     if (Cache != nullptr) {
       CompilationCache::Stats CS = Cache->stats();
-      uint64_t Hits = CS.MemoryHits + CS.DiskHits;
-      uint64_t Lookups = Hits + CS.Misses;
-      if (Lookups != 0) {
-        char Buf[32];
-        std::snprintf(Buf, sizeof(Buf), "%.1f",
-                      100.0 * static_cast<double>(Hits) /
-                          static_cast<double>(Lookups));
-        Line += std::string(" | cache ") + Buf + "%";
-      }
+      S.HasCache = true;
+      S.CacheHits = CS.MemoryHits + CS.DiskHits;
+      S.CacheLookups = S.CacheHits + CS.Misses;
     }
-    if (D != 0 && D < Total) {
-      double ElapsedS = static_cast<double>(Now - StartNs) / 1e9;
-      double Eta = ElapsedS / static_cast<double>(D) *
-                   static_cast<double>(Total - D);
-      char Buf[32];
-      std::snprintf(Buf, sizeof(Buf), "%.1f", Eta);
-      Line += std::string(" | eta ") + Buf + "s";
-    }
+    S.ElapsedS = static_cast<double>(Now - StartNs) / 1e9;
+    std::string Line = formatProgressLine(S);
     if (IsTty) {
       // Redraw in place; the final emission commits the line.
       std::fputs(("\r" + Line + "\x1b[K").c_str(), stderr);
@@ -534,9 +520,41 @@ private:
 
 } // namespace
 
+std::string pira::formatProgressLine(const ProgressSnapshot &S) {
+  std::string Line = "pirac: " + std::to_string(S.Done) + "/" +
+                     std::to_string(S.Total) + " done";
+  Line += ", " + std::to_string(S.Failed) + " failed";
+  Line += ", " + std::to_string(S.Degraded) + " degraded";
+  Line += ", " + std::to_string(S.Crashed) + " crashed";
+  if (S.HasCache && S.CacheLookups != 0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f",
+                  100.0 * static_cast<double>(S.CacheHits) /
+                      static_cast<double>(S.CacheLookups));
+    Line += std::string(" | cache ") + Buf + "%";
+  }
+  // Both divisions below need Done > 0 and a positive elapsed time; the
+  // first tick of a fast batch can land at elapsed == 0 (clock
+  // granularity), where a rate would print "inf" and the ETA "nan".
+  if (S.Done != 0 && S.ElapsedS > 0.0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f",
+                  static_cast<double>(S.Done) / S.ElapsedS);
+    Line += std::string(" | ") + Buf + "/s";
+    if (S.Done < S.Total) {
+      double Eta = S.ElapsedS / static_cast<double>(S.Done) *
+                   static_cast<double>(S.Total - S.Done);
+      std::snprintf(Buf, sizeof(Buf), "%.1f", Eta);
+      Line += std::string(" | eta ") + Buf + "s";
+    }
+  }
+  return Line;
+}
+
 BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
                                const MachineModel &Machine,
-                               const BatchOptions &Opts) {
+                               const BatchOptions &OptsIn) {
+  BatchOptions Opts = OptsIn;
   // The whole-batch span is recorded by hand at the end rather than as
   // a TimeScope: a live scope on the caller's thread would prefix the
   // serial path's per-item event paths but not the pool workers', and
@@ -555,6 +573,23 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
   bool UseIsolation = Opts.Isolate && !Opts.WorkerExe.empty();
   std::string MachineText =
       UseIsolation ? machineModelToString(Machine) : std::string();
+
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobCount() : Opts.Jobs;
+  Jobs = std::max(1u, Jobs);
+
+  // A single-function batch takes the serial path below and would leave
+  // every requested worker idle. Spend them inside the compile instead:
+  // hand the Pinter pipeline a pool so each block's transitive closure
+  // runs its independent schedule-graph components in parallel. This is
+  // invisible to results (component closures write disjoint rows) and
+  // to the cache key (the pool is not a keyed option), so reports stay
+  // byte-identical across --jobs. Isolated runs delegate to a child
+  // process and get no pool here.
+  std::unique_ptr<ThreadPool> ClosurePool;
+  if (Jobs > 1 && Batch.size() == 1 && !UseIsolation) {
+    ClosurePool = std::make_unique<ThreadPool>(Jobs);
+    Opts.Pinter.ClosurePool = ClosurePool.get();
+  }
 
   // Compiles item \p I in process or in a sandboxed child.
   auto Compile = [&](unsigned I) {
@@ -680,8 +715,6 @@ BatchResult pira::compileBatch(const std::vector<BatchItem> &Batch,
     Progress.tick(R.Results[I], R.Outcomes[I]);
   };
 
-  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobCount() : Opts.Jobs;
-  Jobs = std::max(1u, Jobs);
   if (Jobs == 1 || Batch.size() <= 1) {
     // Serial reference path: no pool, same observable results.
     R.JobsUsed = 1;

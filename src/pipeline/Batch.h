@@ -65,6 +65,7 @@
 #include "pipeline/Strategies.h"
 #include "support/Json.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -261,6 +262,32 @@ void finalizeBatchAggregates(BatchResult &R);
 BatchResult compileBatch(const std::vector<BatchItem> &Batch,
                          const MachineModel &Machine,
                          const BatchOptions &Opts = {});
+
+/// One observation of batch progress, as rendered into a --progress
+/// stderr line. Plain data so the formatting is unit-testable away from
+/// the atomics and the rate limiter that feed it.
+struct ProgressSnapshot {
+  uint64_t Done = 0;
+  uint64_t Total = 0;
+  uint64_t Failed = 0;
+  uint64_t Degraded = 0;
+  uint64_t Crashed = 0;
+  /// Cache tallies; the cache segment is omitted when HasCache is false
+  /// or no lookup has happened yet.
+  bool HasCache = false;
+  uint64_t CacheHits = 0;
+  uint64_t CacheLookups = 0;
+  /// Wall time since the batch started, in seconds.
+  double ElapsedS = 0.0;
+};
+
+/// Renders one --progress line (text only; the terminal redraw bytes
+/// are the caller's concern). Pure: same snapshot, same string. The
+/// rate and ETA segments require at least one finished item and a
+/// strictly positive elapsed time — the first tick of a fast batch can
+/// land within the clock's granularity, and dividing by that zero must
+/// not leak "inf" or "nan" into the line.
+std::string formatProgressLine(const ProgressSnapshot &S);
 
 /// Assembles the versioned "pira.stats" document for a batch run: the
 /// shared preamble, one "functions" array entry per item (input order),

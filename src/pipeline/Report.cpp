@@ -66,12 +66,17 @@ json::Value pira::histogramsToJson() {
   for (const telemetry::Histogram *H : telemetry::histograms()) {
     json::Value One = json::Value::object();
     One.set("description", H->description());
-    One.set("count", H->count());
+    uint64_t Count = H->count();
+    One.set("count", Count);
     One.set("sum_ns", H->sum());
     One.set("max_ns", H->max());
-    One.set("p50_ns", H->percentileUpperBound(50.0));
-    One.set("p90_ns", H->percentileUpperBound(90.0));
-    One.set("p99_ns", H->percentileUpperBound(99.0));
+    // An empty histogram has no percentiles; omitting the keys (rather
+    // than inventing a value) keeps consumers from averaging zeros in.
+    if (Count != 0) {
+      One.set("p50_ns", H->percentileUpperBound(50.0));
+      One.set("p90_ns", H->percentileUpperBound(90.0));
+      One.set("p99_ns", H->percentileUpperBound(99.0));
+    }
     json::Value Buckets = json::Value::array();
     for (unsigned I = 0; I < telemetry::Histogram::NumBuckets; ++I) {
       if (uint64_t N = H->bucketCount(I)) {

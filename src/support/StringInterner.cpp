@@ -1,0 +1,41 @@
+//===- support/StringInterner.cpp - Global string interning ---------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <mutex>
+#include <set>
+
+using namespace pira;
+
+namespace {
+
+/// Node-based set: element addresses are stable across inserts, which is
+/// what makes handing out interior pointers sound.
+struct InternPool {
+  std::mutex Mu;
+  std::set<std::string> Strings;
+
+  Symbol intern(const std::string &S) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return &*Strings.insert(S).first;
+  }
+};
+
+InternPool &pool() {
+  static InternPool P;
+  return P;
+}
+
+} // namespace
+
+Symbol pira::internString(const std::string &S) { return pool().intern(S); }
+
+Symbol pira::emptySymbol() {
+  static Symbol Empty = internString(std::string());
+  return Empty;
+}

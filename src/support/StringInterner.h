@@ -1,0 +1,42 @@
+//===- support/StringInterner.h - Global string interning -------*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide string interning. A Symbol is a pointer to the unique
+/// canonical copy of a string: equal strings intern to the same pointer, so
+/// symbol equality is a pointer compare and an Instruction stores one
+/// machine word instead of an owning std::string (24+ bytes plus a heap
+/// block per memory operand).
+///
+/// Interned storage is never freed; the population is tiny and long-lived
+/// (array names, a handful per workload). The pool is guarded by a mutex so
+/// parser/builder threads may intern concurrently; hot readers never lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SUPPORT_STRINGINTERNER_H
+#define PIRA_SUPPORT_STRINGINTERNER_H
+
+#include <string>
+
+namespace pira {
+
+/// An interned string: points at the unique canonical copy. Stable for the
+/// life of the process; compare with == for string equality.
+using Symbol = const std::string *;
+
+/// Returns the canonical Symbol for \p S, interning it on first sight.
+/// Thread-safe.
+Symbol internString(const std::string &S);
+
+/// The Symbol of the empty string (the default for non-memory
+/// instructions). Never null. Thread-safe.
+Symbol emptySymbol();
+
+} // namespace pira
+
+#endif // PIRA_SUPPORT_STRINGINTERNER_H

@@ -161,7 +161,18 @@ uint64_t Histogram::bucketUpperBound(unsigned I) {
 }
 
 uint64_t Histogram::percentileUpperBound(double P) const {
-  uint64_t N = count();
+  // One snapshot of the buckets, with the total derived from that same
+  // snapshot. Count and the buckets are distinct relaxed atomics, so a
+  // total read separately (as this used to) can exceed the bucket mass
+  // the rank walk then observes — e.g. around reset() or a foreign
+  // merge — stranding the rank past every bucket and answering with the
+  // last bucket's UINT64_MAX bound for a histogram holding nothing.
+  std::array<uint64_t, NumBuckets> Snap;
+  uint64_t N = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Snap[I] = bucketCount(I);
+    N += Snap[I];
+  }
   if (N == 0)
     return 0;
   // Rank of the percentile observation, 1-based, clamped into [1, N].
@@ -170,11 +181,11 @@ uint64_t Histogram::percentileUpperBound(double P) const {
   Rank = std::min(std::max<uint64_t>(Rank, 1), N);
   uint64_t Seen = 0;
   for (unsigned I = 0; I < NumBuckets; ++I) {
-    Seen += bucketCount(I);
+    Seen += Snap[I];
     if (Seen >= Rank)
       return bucketUpperBound(I);
   }
-  return bucketUpperBound(NumBuckets - 1);
+  return bucketUpperBound(NumBuckets - 1); // unreachable: Rank <= N
 }
 
 const std::vector<Histogram *> &telemetry::histograms() {

@@ -70,6 +70,22 @@ expect 0 "metrics to file"              -- "$PIRAC" good.pir good.pir --metrics-
 expect 0 "metrics to stdout"            -- "$PIRAC" good.pir good.pir --metrics-out -
 expect 0 "stats to stdout"              -- "$PIRAC" good.pir --stats-out -
 expect 0 "progress batch"               -- "$PIRAC" good.pir good.pir --progress
+expect 0 "empty generated tournament"   -- "$PIRAC" --tournament --corpus-count 0 \
+                                             --stats-out t0.json
+expect 1 "tournament all inputs bad"    -- "$PIRAC" --tournament bad.pir \
+                                             --stats-out t1.json
+
+# Both empty-corpus tournaments must still emit a valid zero-row
+# pira.tournament report — never fall back to a generated corpus.
+for f in t0.json t1.json; do
+  if grep -q '"schema": *"pira.tournament"' "$f" \
+     && grep -q '"functions": *\[\]' "$f"; then
+    echo "ok: $f is a zero-row tournament report"
+  else
+    echo "FAIL: $f missing schema or non-empty functions" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
 
 # A stdout sink must leave stdout machine-clean: exactly one parsable
 # OpenMetrics/JSON document, no human chatter mixed in.

@@ -5,11 +5,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/BitMatrix.h"
 #include "support/BitVector.h"
 #include "support/DotWriter.h"
 #include "support/Json.h"
 #include "support/Rng.h"
+#include "support/SmallVector.h"
+#include "support/StringInterner.h"
 #include "support/UndirectedGraph.h"
 
 #include <gtest/gtest.h>
@@ -602,4 +605,89 @@ TEST(JsonLocaleTest, DoubleRoundTripUnderCommaDecimalLocale) {
   json::Value Doc = parseOk(R"({"hit_rate": 0.75, "xs": [1.5, 2.25]})");
   EXPECT_EQ(Doc.find("hit_rate")->asDouble(), 0.75);
   EXPECT_EQ(Doc.find("xs")->elements()[1].asDouble(), 2.25);
+}
+
+//===----------------------------------------------------------------------===//
+// SmallVector / Arena / string interner (the data-oriented IR layer)
+//===----------------------------------------------------------------------===//
+
+TEST(SmallVectorTest, InlineThenSpill) {
+  SmallVector<unsigned, 3> V;
+  EXPECT_TRUE(V.empty());
+  // Stay inline: no heap allocation observable, values intact.
+  V.push_back(10);
+  V.push_back(20);
+  V.push_back(30);
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 10u);
+  EXPECT_EQ(V.back(), 30u);
+  // Cross the inline capacity and keep growing well past it.
+  for (unsigned I = 0; I < 100; ++I)
+    V.push_back(I);
+  ASSERT_EQ(V.size(), 103u);
+  EXPECT_EQ(V[0], 10u);
+  EXPECT_EQ(V[3], 0u);
+  EXPECT_EQ(V[102], 99u);
+  V.pop_back();
+  EXPECT_EQ(V.size(), 102u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(SmallVectorTest, CopyMoveAndEquality) {
+  SmallVector<unsigned, 2> A{1, 2, 3, 4};
+  SmallVector<unsigned, 2> B(A);
+  EXPECT_TRUE(A == B);
+  SmallVector<unsigned, 2> C(std::move(A));
+  EXPECT_TRUE(C == B);
+  // Converting construction from std::vector, both inline and spilled.
+  SmallVector<unsigned, 4> D(std::vector<unsigned>{7, 8});
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[1], 8u);
+  SmallVector<unsigned, 1> E(std::vector<unsigned>{5, 6, 7});
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_EQ(E[2], 7u);
+  SmallVector<unsigned, 2> F{1, 2, 3, 4};
+  SmallVector<unsigned, 2> G{1, 2, 3, 5};
+  EXPECT_FALSE(F == G);
+  G = F;
+  EXPECT_TRUE(F == G);
+  // Range-for iterates in order.
+  unsigned Sum = 0;
+  for (unsigned X : F)
+    Sum += X;
+  EXPECT_EQ(Sum, 10u);
+}
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  Arena A(/*ChunkBytes=*/256);
+  unsigned *P = A.allocate<unsigned>(10);
+  for (unsigned I = 0; I < 10; ++I)
+    P[I] = I;
+  uint64_t *Q = A.allocateZeroed<uint64_t>(4);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Q) % alignof(uint64_t), 0u);
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_EQ(Q[I], 0u);
+  // Earlier allocations survive chunk growth.
+  for (unsigned I = 0; I < 50; ++I)
+    (void)A.allocate<uint64_t>(16); // each 128 bytes; forces new chunks
+  for (unsigned I = 0; I < 10; ++I)
+    EXPECT_EQ(P[I], I);
+  EXPECT_GT(A.bytesAllocated(), 256u);
+  // An allocation larger than the chunk size still succeeds.
+  char *Big = A.allocate<char>(4096);
+  Big[4095] = 'x';
+  EXPECT_EQ(Big[4095], 'x');
+}
+
+TEST(StringInternerTest, PointerIdentityPerContent) {
+  Symbol A = internString("alpha");
+  Symbol B = internString(std::string("al") + "pha");
+  Symbol C = internString("beta");
+  EXPECT_EQ(A, B);  // same content, same pointer
+  EXPECT_NE(A, C);
+  EXPECT_EQ(*A, "alpha");
+  EXPECT_EQ(*C, "beta");
+  EXPECT_EQ(internString(""), emptySymbol());
+  EXPECT_EQ(*emptySymbol(), "");
 }

@@ -242,6 +242,35 @@ TEST_F(TelemetryTest, HistogramRecordAndPercentiles) {
   EXPECT_EQ(TestHistA.max(), 0u);
 }
 
+TEST_F(TelemetryTest, EmptyHistogramPercentilesAreZeroAndOmittedFromReports) {
+  // An empty histogram answers 0 for every percentile. The failure mode
+  // this pins down: a rank walk that never reaches its target falls off
+  // the end and reports the last bucket's upper bound — UINT64_MAX
+  // masquerading as a latency for a histogram that recorded nothing.
+  ASSERT_EQ(TestHistA.count(), 0u);
+  for (double P : {1.0, 50.0, 90.0, 99.0, 100.0})
+    EXPECT_EQ(TestHistA.percentileUpperBound(P), 0u) << "P" << P;
+
+  // The pira.stats v5 histogram block keeps count (as 0) but omits the
+  // percentile keys entirely rather than inventing values a dashboard
+  // would average in.
+  json::Value Hists = histogramsToJson();
+  const json::Value *HV = Hists.find("TestHistA");
+  ASSERT_NE(HV, nullptr);
+  EXPECT_EQ(HV->find("count")->asInt(), 0);
+  for (const char *Key : {"p50_ns", "p90_ns", "p99_ns"})
+    EXPECT_FALSE(HV->has(Key)) << "unexpected " << Key;
+
+  // One observation restores the full shape.
+  TestHistA.record(7);
+  Hists = histogramsToJson();
+  HV = Hists.find("TestHistA");
+  ASSERT_NE(HV, nullptr);
+  for (const char *Key : {"p50_ns", "p90_ns", "p99_ns"})
+    EXPECT_TRUE(HV->has(Key)) << "missing " << Key;
+  EXPECT_EQ(HV->find("p99_ns")->asInt(), 7);
+}
+
 TEST_F(TelemetryTest, SnapshotRoundTripsCountersHistogramsAndEvents) {
   TestCounterA += 5;
   TestHistA.record(7);

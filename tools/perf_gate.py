@@ -28,9 +28,20 @@ import sys
 RATIO_GATES = [
     ("closure_speedup_256",
      "BM_TransitiveClosureSetBased/256", "BM_TransitiveClosure/256"),
+    ("closure_reduction_speedup_1024",
+     "BM_TransitiveClosureUnreduced/1024", "BM_TransitiveClosure/1024"),
     ("warm_cache_speedup",
      "BM_CompileBatch/1/real_time", "BM_CompileBatchWarmCache/real_time"),
 ]
+
+# Hard floors on the *fresh* ratio itself, enforced in addition to the
+# baseline-relative threshold. These encode standing acceptance criteria
+# (the DAG reduction must keep beating plain Warshall by 2x at
+# 1k-instruction blocks) so a slowly drifting committed baseline cannot
+# ratchet a requirement away.
+RATIO_FLOORS = {
+    "closure_reduction_speedup_1024": 2.0,
+}
 
 
 def fail_usage(msg):
@@ -50,7 +61,18 @@ def load_report(path):
     for row in doc.get("results", []):
         if "error" in row:
             continue
-        times[row["name"]] = float(row["real_time_ns"])
+        try:
+            value = float(row["real_time_ns"])
+        except (KeyError, TypeError, ValueError):
+            fail_usage("%s: result %r has no numeric real_time_ns"
+                       % (path, row.get("name", "?")))
+        if not value > 0.0:
+            # A zero or negative time would silently pass (or divide by
+            # zero in) every ratio gate downstream; it can only mean a
+            # broken producer, so refuse the report outright.
+            fail_usage("%s: benchmark %r reports non-positive time %r"
+                       % (path, row.get("name", "?"), value))
+        times[row["name"]] = value
     if not times:
         fail_usage("%s has no usable benchmark results" % path)
     return doc, times
@@ -117,7 +139,8 @@ def main():
                        % (label, ", ".join(missing)))
         base_ratio = base_times[num] / base_times[den]
         fresh_ratio = fresh_times[num] / fresh_times[den]
-        floor = base_ratio * (1.0 - slack)
+        floor = max(base_ratio * (1.0 - slack),
+                    RATIO_FLOORS.get(label, 0.0))
         record(label, base_ratio, fresh_ratio, floor,
                fresh_ratio >= floor)
 
@@ -127,6 +150,8 @@ def main():
             record(name + " ns", base_times[name], fresh_times[name],
                    ceil, fresh_times[name] <= ceil)
 
+    if not rows:
+        fail_usage("no gates were evaluated (empty benchmark set)")
     width = max(len(r[0]) for r in rows)
     print("  %-*s  %12s  %12s  %12s  %s"
           % (width, "gate", "baseline", "fresh", "limit", "status"))
