@@ -35,6 +35,7 @@
 //          [--corpus-seed N]
 //          [--no-degrade] [--fault-inject site:n[,site:n...]]
 //          [--cache off|on|verify] [--cache-dir DIR]
+//          [--cache-remote PORT|SOCKET] [--cache-max-mb N]
 //          [--isolate] [--retries N] [--retry-backoff-ms N]
 //          [--child-timeout-ms N] [--child-mem-mb N]
 //          [--journal FILE] [--resume]
@@ -81,6 +82,19 @@
 // byte identity; any mismatch makes the run exit nonzero. Caching
 // applies in batch mode (several inputs, or --jobs).
 //
+// --cache-remote TARGET (a loopback TCP port if all digits, else a unix
+// socket path) chains a shared remote tier in front of the local ones:
+// lookups ask a `pirac serve --cache-serve` daemon first and fall back
+// to disk, memory, and recompilation; inserts publish back best-effort.
+// Every fetched entry is digest-verified and fully decoded before use —
+// anything suspect is quarantined and recompiled — and every remote
+// failure (dead daemon, timeout, tripped breaker) silently degrades to
+// the local tiers, so reports stay byte-identical with or without the
+// remote (DESIGN.md §13). Implies --cache on like --cache-dir does.
+// --cache-max-mb N bounds the on-disk tier (requires --cache-dir),
+// trimming oldest entries first; entries written by the current run are
+// never trimmed.
+//
 // --isolate compiles every ladder rung in a sandboxed child process
 // (`pirac --worker`, an internal mode that reads one job document from
 // stdin): a crash, OOM kill, or hard hang in one function becomes a
@@ -101,6 +115,10 @@
 // warm compilation cache, bounded-queue admission with structured
 // overload shedding, per-client budgets, server-enforced deadlines,
 // SIGTERM graceful drain (exit 0) vs SIGINT fast abort (exit 130).
+// With --cache-serve the daemon also answers the shared-cache protocol
+// (lookup/store against its warm cache) for --cache-remote clients;
+// --cache-remote TARGET chains its own misses to an upstream daemon,
+// and --cache-max-mb bounds its disk tier.
 // `pirac --client --socket PATH file.pir ...` runs a batch against the
 // daemon instead of in-process; the client reconnects with bounded
 // doubling backoff, so killing and restarting the daemon mid-batch is
@@ -137,6 +155,7 @@
 #include "pipeline/Strategies.h"
 #include "pipeline/Tournament.h"
 #include "pipeline/Worker.h"
+#include "service/CacheClient.h"
 #include "service/Client.h"
 #include "service/Server.h"
 #include "support/FaultInjection.h"
@@ -287,6 +306,15 @@ static int runServeMode(int argc, char **argv) {
     } else if (Arg == "--cache-dir") {
       if (!NextValue(Opts.CacheDir))
         return 2;
+    } else if (Arg == "--cache-serve") {
+      Opts.CacheServe = true;
+    } else if (Arg == "--cache-remote") {
+      if (!NextValue(Opts.CacheRemote))
+        return 2;
+    } else if (Arg == "--cache-max-mb") {
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1 << 20, N))
+        return 2;
+      Opts.CacheMaxBytes = N << 20;
     } else if (Arg == "--stats-out") {
       if (!NextValue(StatsOut))
         return 2;
@@ -299,6 +327,10 @@ static int runServeMode(int argc, char **argv) {
   }
   if (Opts.SocketPath.empty() && Opts.TcpPort < 0) {
     std::cerr << "pirac serve: need --socket PATH and/or --tcp PORT\n";
+    return 2;
+  }
+  if (Opts.CacheMaxBytes != 0 && Opts.CacheDir.empty()) {
+    std::cerr << "pirac serve: --cache-max-mb requires --cache-dir DIR\n";
     return 2;
   }
 
@@ -379,6 +411,8 @@ int main(int argc, char **argv) {
   CacheMode CacheModeFlag = CacheMode::Off;
   bool CacheFlagSeen = false;
   std::string CacheDir;
+  std::string CacheRemote;
+  uint64_t CacheMaxMB = 0;
   bool Isolate = false;
   uint64_t Retries = 0;
   uint64_t RetryBackoffMs = 10;
@@ -506,6 +540,13 @@ int main(int argc, char **argv) {
       CacheFlagSeen = true;
     } else if (Arg == "--cache-dir") {
       if (!NextValue(CacheDir))
+        return 2;
+    } else if (Arg == "--cache-remote") {
+      if (!NextValue(CacheRemote))
+        return 2;
+    } else if (Arg == "--cache-max-mb") {
+      std::string V;
+      if (!NextValue(V) || !parseCliCount(Arg, V, 1, 1 << 20, CacheMaxMB))
         return 2;
     } else if (Arg == "--isolate") {
       Isolate = true;
@@ -661,8 +702,12 @@ int main(int argc, char **argv) {
   }
   if (Regs != 0)
     Machine.setNumPhysRegs(Regs);
-  if (!CacheDir.empty() && !CacheFlagSeen)
+  if ((!CacheDir.empty() || !CacheRemote.empty()) && !CacheFlagSeen)
     CacheModeFlag = CacheMode::On;
+  if (CacheMaxMB != 0 && CacheDir.empty()) {
+    std::cerr << "pirac: --cache-max-mb requires --cache-dir DIR\n";
+    return 2;
+  }
   if (Resume && JournalPath.empty()) {
     std::cerr << "pirac: --resume requires --journal FILE\n";
     return 2;
@@ -675,13 +720,14 @@ int main(int argc, char **argv) {
   }
   if (UseClient &&
       (Isolate || !JournalPath.empty() || Resume || CacheFlagSeen ||
-       !CacheDir.empty() || !faultinject::currentSpec().empty())) {
+       !CacheDir.empty() || !CacheRemote.empty() ||
+       !faultinject::currentSpec().empty())) {
     // The daemon owns isolation, journaling, caching, and (because it
     // is process-global state) fault injection; a client asking for
     // them locally would silently change what the daemon computes.
     std::cerr << "pirac: --client cannot be combined with --isolate, "
-                 "--journal/--resume, --cache/--cache-dir, or "
-                 "--fault-inject\n";
+                 "--journal/--resume, --cache/--cache-dir/--cache-remote, "
+                 "or --fault-inject\n";
     return 2;
   }
   if (DaemonStats) {
@@ -796,8 +842,13 @@ int main(int argc, char **argv) {
     if (!TraceOut.empty() || !StatsOut.empty() || TimePasses)
       telemetry::setEnabled(true);
     std::optional<CompilationCache> Cache;
-    if (CacheModeFlag != CacheMode::Off)
+    if (CacheModeFlag != CacheMode::Off) {
       Cache.emplace(CacheModeFlag, CacheDir);
+      if (CacheMaxMB != 0)
+        Cache->setDiskLimitBytes(CacheMaxMB << 20);
+      if (!CacheRemote.empty())
+        Cache->attachRemote(service::makeCacheBackendForTarget(CacheRemote));
+    }
     BatchOptions Opts;
     Opts.Strategy = Strategy;
     Opts.Oracle = OracleOpts;
@@ -879,16 +930,36 @@ int main(int argc, char **argv) {
     if (Cache) {
       CompilationCache::Stats CS = Cache->stats();
       Hum << "; cache (" << cacheModeName(Cache->mode()) << "): "
-          << (CS.MemoryHits + CS.DiskHits) << " hit(s) ("
-          << CS.MemoryHits << " memory, " << CS.DiskHits << " disk), "
-          << CS.Misses << " miss(es), " << CS.Inserts << " insert(s)";
+          << (CS.MemoryHits + CS.DiskHits + CS.RemoteHits) << " hit(s) ("
+          << CS.MemoryHits << " memory, " << CS.DiskHits << " disk";
+      if (Cache->remote() != nullptr)
+        Hum << ", " << CS.RemoteHits << " remote";
+      Hum << "), " << CS.Misses << " miss(es), " << CS.Inserts
+          << " insert(s)";
       if (CS.CorruptEntries != 0)
         Hum << ", " << CS.CorruptEntries << " corrupt";
       if (CS.WriteFailures != 0)
         Hum << ", " << CS.WriteFailures << " write failure(s)";
+      if (CS.TrimmedEntries != 0)
+        Hum << ", " << CS.TrimmedEntries << " trimmed";
       if (CS.VerifyMismatches != 0)
         Hum << ", " << CS.VerifyMismatches << " VERIFY MISMATCH(ES)";
       Hum << '\n';
+      if (RemoteCacheTier *Tier = Cache->remote()) {
+        RemoteCacheTier::Stats RS = Tier->stats();
+        Hum << "; remote cache: " << RS.Lookups << " lookup(s), " << RS.Hits
+            << " hit(s), " << RS.Stores << " store(s), breaker "
+            << RemoteCacheTier::breakerName(RS.State);
+        if (RS.BreakerTrips != 0)
+          Hum << " (" << RS.BreakerTrips << " trip(s))";
+        if (RS.TransportFailures != 0)
+          Hum << ", " << RS.TransportFailures << " transport failure(s)";
+        if (RS.Collapsed != 0)
+          Hum << ", " << RS.Collapsed << " collapsed";
+        if (RS.Quarantined != 0)
+          Hum << ", " << RS.Quarantined << " QUARANTINED";
+        Hum << '\n';
+      }
     }
 
     bool ReportsOk = true;

@@ -1,0 +1,175 @@
+//===- service/CacheClient.cpp - Remote-cache socket transport ------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CacheClient.h"
+
+#include "service/Client.h"
+#include "support/Io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+namespace {
+
+Status transportError(const std::string &What) {
+  return Status::error(ErrorCode::ServerOverloaded, "cache/remote", What);
+}
+
+Status protocolError(const std::string &What) {
+  return Status::error(ErrorCode::ProtocolError, "cache/remote", What);
+}
+
+} // namespace
+
+SocketCacheBackend::SocketCacheBackend(std::string SocketPath, int TcpPort,
+                                       uint32_t MaxFrameBytes)
+    : SocketPath(std::move(SocketPath)), TcpPort(TcpPort),
+      MaxFrameBytes(MaxFrameBytes) {
+  io::ignoreSigpipe(); // A daemon death must be an EPIPE, not a SIGPIPE.
+}
+
+SocketCacheBackend::~SocketCacheBackend() { disconnect(); }
+
+void SocketCacheBackend::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Status SocketCacheBackend::ensureConnected() {
+  if (Fd >= 0)
+    return Status();
+  Expected<int> NewFd = connectToDaemon(SocketPath, TcpPort);
+  if (!NewFd)
+    return NewFd.status();
+  Fd = NewFd.take();
+  return Status();
+}
+
+std::string SocketCacheBackend::describe() const {
+  if (!SocketPath.empty())
+    return "unix:" + SocketPath;
+  return "tcp:127.0.0.1:" + std::to_string(TcpPort);
+}
+
+Expected<json::Value> SocketCacheBackend::roundTrip(const json::Value &Req,
+                                                    uint64_t Id,
+                                                    int DeadlineMs) {
+  Status C = ensureConnected();
+  if (!C.ok())
+    return C;
+
+  if (!writeFrameDoc(Fd, Req)) {
+    Status S = transportError(std::string("cache request write failed: ") +
+                              std::strerror(errno));
+    disconnect();
+    return S;
+  }
+
+  for (;;) {
+    std::string Payload;
+    FrameStatus S = readFrame(Fd, Payload, MaxFrameBytes, DeadlineMs);
+    if (S != FrameStatus::Ok) {
+      Status E = transportError(std::string("cache response read failed: ") +
+                                frameStatusName(S));
+      disconnect();
+      return E;
+    }
+    json::Value Doc;
+    std::string Error;
+    if (!json::parse(Payload, Doc, Error)) {
+      Status E = protocolError("cache response does not parse: " + Error);
+      disconnect();
+      return E;
+    }
+    const json::Value *RId = Doc.find("id");
+    if (RId == nullptr || !RId->isInt() ||
+        static_cast<uint64_t>(RId->asInt()) != Id)
+      continue; // Not ours (an id-0 framing complaint): keep reading.
+
+    const json::Value *Op = Doc.find("op");
+    if (Op != nullptr && Op->isString() && Op->asString() == "error") {
+      const json::Value *Name = Doc.find("error");
+      const json::Value *Message = Doc.find("message");
+      std::string Msg = Message != nullptr && Message->isString()
+                            ? Message->asString()
+                            : (Name != nullptr && Name->isString()
+                                   ? Name->asString()
+                                   : "cache error");
+      // A daemon that answers but refuses (not serving a cache, bad
+      // request) will refuse the retry too: disconnecting buys nothing,
+      // but the tier will count the failure and the breaker will stop
+      // asking.
+      return protocolError("daemon refused cache request: " + Msg);
+    }
+    return Doc;
+  }
+}
+
+Expected<RemoteCacheHit> SocketCacheBackend::lookup(const std::string &Key,
+                                                    int DeadlineMs) {
+  uint64_t Id = NextId++;
+  json::Value Req = cacheRequestEnvelope(Id, "lookup");
+  Req.set("key", Key);
+  Expected<json::Value> Resp = roundTrip(Req, Id, DeadlineMs);
+  if (!Resp)
+    return Resp.status();
+
+  const json::Value *Hit = Resp->find("hit");
+  if (Hit == nullptr || !Hit->isBool())
+    return protocolError("cache lookup response has no hit flag");
+  RemoteCacheHit Out;
+  if (!Hit->asBool())
+    return Out; // Clean miss.
+  const json::Value *Entry = Resp->find("entry");
+  const json::Value *Digest = Resp->find("sha256");
+  if (Entry == nullptr || !Entry->isString() || Digest == nullptr ||
+      !Digest->isString())
+    return protocolError("cache hit response is missing entry or digest");
+  Out.Found = true;
+  Out.EntryText = Entry->asString();
+  Out.Digest = Digest->asString();
+  return Out;
+}
+
+Status SocketCacheBackend::store(const std::string &Key,
+                                 const std::string &EntryText,
+                                 const std::string &Digest, int DeadlineMs) {
+  uint64_t Id = NextId++;
+  json::Value Req = cacheRequestEnvelope(Id, "store");
+  Req.set("key", Key);
+  Req.set("entry", EntryText);
+  Req.set("sha256", Digest);
+  Expected<json::Value> Resp = roundTrip(Req, Id, DeadlineMs);
+  if (!Resp)
+    return Resp.status();
+  const json::Value *Stored = Resp->find("stored");
+  if (Stored == nullptr || !Stored->isBool() || !Stored->asBool())
+    return protocolError("daemon did not acknowledge the store");
+  return Status();
+}
+
+std::unique_ptr<RemoteCacheBackend>
+pira::service::makeCacheBackendForTarget(const std::string &Target) {
+  bool AllDigits = !Target.empty() && Target.size() <= 5;
+  for (char C : Target)
+    if (C < '0' || C > '9')
+      AllDigits = false;
+  if (AllDigits) {
+    int Port = 0;
+    for (char C : Target)
+      Port = Port * 10 + (C - '0');
+    return std::make_unique<SocketCacheBackend>(std::string(), Port);
+  }
+  return std::make_unique<SocketCacheBackend>(Target, -1);
+}

@@ -1,0 +1,80 @@
+//===- service/CacheClient.h - Remote-cache socket transport ----*- C++ -*-===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket transport under pipeline/Cache.h's RemoteCacheTier: one
+/// lazily (re)connected connection to a `pirac serve --cache-serve`
+/// daemon, speaking the framed "pira.cache-request"/"pira.cache-response"
+/// protocol (service/Framing.h). This class is deliberately dumb — one
+/// best-effort network operation per call, disconnecting on any failure
+/// so the next call starts from a clean connect. All resilience policy
+/// (deadlines as timeouts are passed in; retries, backoff, the circuit
+/// breaker, integrity verification, quarantine) lives in the tier, which
+/// also serializes calls, so no locking happens here.
+///
+/// Transport failures — connect refused, short write, torn frame,
+/// timeout, reset, or a daemon answer that is not valid protocol — all
+/// come back as error Statuses; the tier turns every one of them into
+/// "no entry" and the batch falls down the degradation ladder. The
+/// `net.*` fault-injection sites fire inside the framing helpers this
+/// transport calls, so arming them in a client process exercises every
+/// one of these paths deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIRA_SERVICE_CACHECLIENT_H
+#define PIRA_SERVICE_CACHECLIENT_H
+
+#include "pipeline/Cache.h"
+#include "service/Framing.h"
+
+#include <memory>
+#include <string>
+
+namespace pira {
+namespace service {
+
+class SocketCacheBackend : public RemoteCacheBackend {
+public:
+  /// \p SocketPath non-empty selects a unix socket; otherwise loopback
+  /// TCP \p TcpPort. Does not connect — the first operation does.
+  SocketCacheBackend(std::string SocketPath, int TcpPort,
+                     uint32_t MaxFrameBytes = DefaultMaxFrameBytes);
+  ~SocketCacheBackend() override;
+
+  Expected<RemoteCacheHit> lookup(const std::string &Key,
+                                  int DeadlineMs) override;
+  Status store(const std::string &Key, const std::string &EntryText,
+               const std::string &Digest, int DeadlineMs) override;
+  std::string describe() const override;
+
+private:
+  Status ensureConnected();
+  void disconnect();
+
+  /// Sends \p Req and reads the response matching its id, treating
+  /// \p DeadlineMs as the per-read inactivity timeout. Disconnects on
+  /// every failure. An "error" response becomes an error Status.
+  Expected<json::Value> roundTrip(const json::Value &Req, uint64_t Id,
+                                  int DeadlineMs);
+
+  std::string SocketPath;
+  int TcpPort;
+  uint32_t MaxFrameBytes;
+  int Fd = -1;
+  uint64_t NextId = 1;
+};
+
+/// Builds a backend for a `--cache-remote TARGET` string: all digits is
+/// a loopback TCP port, anything else a unix socket path.
+std::unique_ptr<RemoteCacheBackend>
+makeCacheBackendForTarget(const std::string &Target);
+
+} // namespace service
+} // namespace pira
+
+#endif // PIRA_SERVICE_CACHECLIENT_H

@@ -46,7 +46,83 @@ ErrorCode codeForWireError(const std::string &Name) {
   return errorCodeFromName(Name);
 }
 
+/// splitmix64 finalizer; deterministic jitter needs nothing stronger.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e9b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
 } // namespace
+
+uint64_t pira::service::retryBackoffMs(const ClientOptions &Opts,
+                                       unsigned Attempt) {
+  if (Attempt == 0)
+    return 0;
+  unsigned Shift = Attempt - 1;
+  uint64_t Base = Shift >= 32 ? Opts.BackoffCapMs
+                              : std::min<uint64_t>(
+                                    static_cast<uint64_t>(Opts.RetryBackoffMs)
+                                        << Shift,
+                                    Opts.BackoffCapMs);
+  if (Base <= 1)
+    return Base;
+  // Uniform in [base/2, base]: the floor keeps a retry from being
+  // immediate, the jitter keeps a fleet of clients from being
+  // synchronized.
+  uint64_t Span = Base - Base / 2;
+  uint64_t R = mix64(Opts.JitterSeed ^ mix64(Attempt));
+  return Base / 2 + R % (Span + 1);
+}
+
+Expected<int> pira::service::connectToDaemon(const std::string &SocketPath,
+                                             int TcpPort) {
+  if (!SocketPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (SocketPath.size() >= sizeof(Addr.sun_path))
+      return clientError(ErrorCode::InvalidArgument,
+                         "socket path too long: '" + SocketPath + "'");
+    std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+    int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (NewFd < 0)
+      return clientError(ErrorCode::Internal,
+                         std::string("socket: ") + std::strerror(errno));
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Status S = clientError(ErrorCode::ServerOverloaded,
+                             "connect('" + SocketPath +
+                                 "') failed: " + std::strerror(errno));
+      ::close(NewFd);
+      return S;
+    }
+    return NewFd;
+  }
+  if (TcpPort >= 0) {
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(TcpPort));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (NewFd < 0)
+      return clientError(ErrorCode::Internal,
+                         std::string("socket: ") + std::strerror(errno));
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Status S = clientError(ErrorCode::ServerOverloaded,
+                             "connect(127.0.0.1:" + std::to_string(TcpPort) +
+                                 ") failed: " + std::strerror(errno));
+      ::close(NewFd);
+      return S;
+    }
+    return NewFd;
+  }
+  return clientError(ErrorCode::InvalidArgument,
+                     "no daemon address: need a socket path or TCP port");
+}
 
 ServiceClient::ServiceClient(ClientOptions O) : Opts(std::move(O)) {
   // A daemon death mid-request must surface as EPIPE from the write
@@ -68,53 +144,11 @@ Status ServiceClient::ensureConnected() {
   if (Fd >= 0)
     return Status();
 
-  int NewFd = -1;
-  if (!Opts.SocketPath.empty()) {
-    sockaddr_un Addr;
-    std::memset(&Addr, 0, sizeof(Addr));
-    Addr.sun_family = AF_UNIX;
-    if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
-      return clientError(ErrorCode::InvalidArgument,
-                         "socket path too long: '" + Opts.SocketPath + "'");
-    std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
-                Opts.SocketPath.size() + 1);
-    NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (NewFd < 0)
-      return clientError(ErrorCode::Internal,
-                         std::string("socket: ") + std::strerror(errno));
-    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
-                  sizeof(Addr)) < 0) {
-      Status S = clientError(ErrorCode::ServerOverloaded,
-                             "connect('" + Opts.SocketPath +
-                                 "') failed: " + std::strerror(errno));
-      ::close(NewFd);
-      return S;
-    }
-  } else if (Opts.TcpPort >= 0) {
-    sockaddr_in Addr;
-    std::memset(&Addr, 0, sizeof(Addr));
-    Addr.sin_family = AF_INET;
-    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
-    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (NewFd < 0)
-      return clientError(ErrorCode::Internal,
-                         std::string("socket: ") + std::strerror(errno));
-    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
-                  sizeof(Addr)) < 0) {
-      Status S = clientError(
-          ErrorCode::ServerOverloaded,
-          "connect(127.0.0.1:" + std::to_string(Opts.TcpPort) +
-              ") failed: " + std::strerror(errno));
-      ::close(NewFd);
-      return S;
-    }
-  } else {
-    return clientError(ErrorCode::InvalidArgument,
-                       "no daemon address: need a socket path or TCP port");
-  }
+  Expected<int> NewFd = connectToDaemon(Opts.SocketPath, Opts.TcpPort);
+  if (!NewFd)
+    return NewFd.status();
 
-  Fd = NewFd;
+  Fd = NewFd.take();
   ++Connects;
   if (Opts.Verbose && Connects > 1)
     std::cerr << "pirac client: reconnected to the daemon (connection #"
@@ -130,10 +164,7 @@ Expected<json::Value> ServiceClient::call(const char *Type,
   unsigned Attempts = std::max(1u, Opts.MaxAttempts);
   for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
     if (Attempt != 0) {
-      uint64_t Backoff =
-          std::min<uint64_t>(static_cast<uint64_t>(Opts.RetryBackoffMs)
-                                 << (Attempt - 1),
-                             Opts.BackoffCapMs);
+      uint64_t Backoff = retryBackoffMs(Opts, Attempt);
       if (Opts.Verbose)
         std::cerr << "pirac client: retrying in " << Backoff << " ms ("
                   << Last.toString() << ")\n";
@@ -270,10 +301,14 @@ BatchResult pira::service::compileBatchRemote(
   JobOpts.Isolate = false;
 
   std::atomic<size_t> NextItem{0};
-  auto Work = [&] {
+  auto Work = [&](size_t ThreadIdx) {
     // One connection per thread: a daemon death costs each thread one
-    // reconnect, not a shared-socket pile-up.
-    ServiceClient C(Client);
+    // reconnect, not a shared-socket pile-up. Each thread jitters its
+    // retries from its own seed so a daemon death does not turn N
+    // threads into one synchronized reconnect stampede.
+    ClientOptions PerThread = Client;
+    PerThread.JitterSeed = Client.JitterSeed ^ (ThreadIdx + 1);
+    ServiceClient C(PerThread);
     for (;;) {
       size_t I = NextItem.fetch_add(1, std::memory_order_relaxed);
       if (I >= Batch.size())
@@ -303,12 +338,12 @@ BatchResult pira::service::compileBatchRemote(
 
   size_t NumThreads = std::min<size_t>(Jobs, Batch.size());
   if (NumThreads <= 1) {
-    Work();
+    Work(0);
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(NumThreads);
     for (size_t T = 0; T != NumThreads; ++T)
-      Threads.emplace_back(Work);
+      Threads.emplace_back(Work, T);
     for (std::thread &T : Threads)
       T.join();
   }

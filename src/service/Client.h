@@ -61,7 +61,25 @@ struct ClientOptions {
   /// Reconnect/retry notices on stderr (the serve-smoke CI job greps
   /// for these to prove the kill -9 was actually ridden out).
   bool Verbose = false;
+  /// Seed for deterministic backoff jitter. N clients restarted
+  /// together (a daemon death under a fanned-out batch) must not
+  /// reconnect in lockstep; seeding each with its own id spreads the
+  /// retry storm while keeping any one client's timing reproducible.
+  uint64_t JitterSeed = 0;
 };
+
+/// The backoff before attempt \p Attempt (1-based; attempt 0 never
+/// waits): uniform in [base/2, base] where base =
+/// min(RetryBackoffMs << (Attempt-1), BackoffCapMs), jittered
+/// deterministically from JitterSeed. Exposed for tests.
+uint64_t retryBackoffMs(const ClientOptions &Opts, unsigned Attempt);
+
+/// Connects to a daemon at \p SocketPath (unix) or, when that is empty,
+/// loopback TCP \p TcpPort. Returns the connected descriptor, or a
+/// Status describing the failure (connect refusals map to the retryable
+/// ServerOverloaded code). Shared by ServiceClient and the remote-cache
+/// transport.
+Expected<int> connectToDaemon(const std::string &SocketPath, int TcpPort);
 
 class ServiceClient {
 public:

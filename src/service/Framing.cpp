@@ -7,6 +7,7 @@
 
 #include "service/Framing.h"
 
+#include "support/FaultInjection.h"
 #include "support/Io.h"
 
 #include <cerrno>
@@ -100,9 +101,41 @@ FrameStatus readExact(int Fd, char *Buf, size_t Want, int IdleTimeoutMs,
 
 } // namespace
 
+namespace {
+
+/// The net.payload.corrupt effect: mutate the last ASCII digit of the
+/// payload ('9' wraps to '0'). A digit-for-digit swap keeps the JSON
+/// structurally valid, so the corruption survives parsing and must be
+/// caught by the end-to-end integrity digest, not by the parser. Cache
+/// entries and digests both end in digit-bearing fields, so one mutated
+/// character is guaranteed to break the sha256 cross-check. Payloads
+/// with no digit (tiny control frames) pass through unchanged.
+void corruptPayloadInFlight(std::string &Payload) {
+  for (size_t I = Payload.size(); I != 0; --I) {
+    char &C = Payload[I - 1];
+    if (C >= '0' && C <= '9') {
+      C = C == '9' ? '0' : static_cast<char>(C + 1);
+      return;
+    }
+  }
+}
+
+} // namespace
+
 FrameStatus pira::service::readFrame(int Fd, std::string &Payload,
                                      uint32_t MaxBytes, int IdleTimeoutMs) {
   Payload.clear();
+  if (faultinject::enabled()) {
+    // A peer that stalls forever: report the inactivity timeout without
+    // consuming anything from the stream.
+    if (faultinject::shouldFire("net.read.stall"))
+      return FrameStatus::Timeout;
+    // A connection reset by the peer (or a middlebox) before any byte.
+    if (faultinject::shouldFire("net.reset")) {
+      errno = ECONNRESET;
+      return FrameStatus::Error;
+    }
+  }
   unsigned char Header[4];
   bool SawAny = false;
   FrameStatus HS = readExact(Fd, reinterpret_cast<char *>(Header), 4,
@@ -121,11 +154,29 @@ FrameStatus pira::service::readFrame(int Fd, std::string &Payload,
   FrameStatus PS = readExact(Fd, Payload.data(), Len, IdleTimeoutMs, SawAny);
   if (PS == FrameStatus::Eof)
     return FrameStatus::Error; // EOF mid-frame is always torn.
+  if (PS == FrameStatus::Ok && faultinject::enabled()) {
+    // The peer died with the frame half-sent: the payload arrived but
+    // the caller must treat the connection as torn.
+    if (faultinject::shouldFire("net.frame.torn")) {
+      errno = ECONNRESET;
+      return FrameStatus::Error;
+    }
+    // Bytes flipped in transit: the frame reads clean, the payload lies.
+    if (faultinject::shouldFire("net.payload.corrupt"))
+      corruptPayloadInFlight(Payload);
+  }
   return PS;
 }
 
 bool pira::service::writeFrame(int Fd, std::string_view Payload) {
   std::string Framed = frameBytes(Payload);
+  if (faultinject::enabled() && faultinject::shouldFire("net.write.short")) {
+    // Half the frame actually reaches the wire, so the peer exercises
+    // its torn-frame defenses while the writer sees a dead peer.
+    (void)io::writeFull(Fd, Framed.data(), Framed.size() / 2);
+    errno = EPIPE;
+    return false;
+  }
   return io::writeFull(Fd, Framed.data(), Framed.size());
 }
 
@@ -154,6 +205,34 @@ json::Value pira::service::responseEnvelope(uint64_t Id, const char *Type) {
 json::Value pira::service::errorResponse(uint64_t Id, const char *Error,
                                          std::string Message, bool Retryable) {
   json::Value D = responseEnvelope(Id, "error");
+  D.set("error", Error);
+  D.set("message", std::move(Message));
+  D.set("retryable", Retryable);
+  return D;
+}
+
+json::Value pira::service::cacheRequestEnvelope(uint64_t Id, const char *Op) {
+  json::Value D = json::Value::object();
+  D.set("schema", CacheRequestSchemaName);
+  D.set("version", ServiceProtocolVersion);
+  D.set("id", Id);
+  D.set("op", Op);
+  return D;
+}
+
+json::Value pira::service::cacheResponseEnvelope(uint64_t Id, const char *Op) {
+  json::Value D = json::Value::object();
+  D.set("schema", CacheResponseSchemaName);
+  D.set("version", ServiceProtocolVersion);
+  D.set("id", Id);
+  D.set("op", Op);
+  return D;
+}
+
+json::Value pira::service::cacheErrorResponse(uint64_t Id, const char *Error,
+                                              std::string Message,
+                                              bool Retryable) {
+  json::Value D = cacheResponseEnvelope(Id, "error");
   D.set("error", Error);
   D.set("message", std::move(Message));
   D.set("retryable", Retryable);

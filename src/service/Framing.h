@@ -41,6 +41,27 @@
 /// Error responses carry {"error": "server-overloaded"|"protocol-error"
 /// |"deadline-exceeded"|"server-draining", "message", "retryable"}.
 ///
+/// The shared-cache protocol rides the same frames with its own
+/// envelopes ("pira.cache-request" / "pira.cache-response" v1):
+///
+///   request:  {"schema","version","id", "op": "lookup"|"store", "key",
+///              ["entry": <compact pira.cache text>, "sha256"]}
+///   response: {"schema","version","id", "op",
+///              lookup: "hit": bool [+ "entry", "sha256"],
+///              store:  "stored": bool,
+///              or "error"/"message"/"retryable" like the compile path}
+///
+/// "sha256" is the producer-side digest of the exact "entry" bytes; the
+/// consumer re-hashes what it received and quarantines on any mismatch
+/// (DESIGN.md §13). The server accepts a store only after the same
+/// digest check plus a full decode, so a hostile client cannot poison
+/// the shared cache with bytes that merely look like an entry.
+///
+/// Every framing helper here is a fault-injection point: the `net.*`
+/// sites (support/FaultInjection.h) deterministically simulate short
+/// writes, torn frames, stalled reads, connection resets, and in-flight
+/// payload corruption for the process that armed them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_SERVICE_FRAMING_H
@@ -58,6 +79,8 @@ namespace service {
 /// Envelope schema constants.
 inline constexpr const char *RequestSchemaName = "pira.request";
 inline constexpr const char *ResponseSchemaName = "pira.response";
+inline constexpr const char *CacheRequestSchemaName = "pira.cache-request";
+inline constexpr const char *CacheResponseSchemaName = "pira.cache-response";
 inline constexpr int ServiceProtocolVersion = 1;
 
 /// Default frame cap: generous for compile jobs (whole functions travel
@@ -108,6 +131,17 @@ json::Value responseEnvelope(uint64_t Id, const char *Type);
 /// "retryable"}. \p Error is one of the error-vocabulary strings above.
 json::Value errorResponse(uint64_t Id, const char *Error,
                           std::string Message, bool Retryable);
+
+/// A bare pira.cache-request envelope (schema, version, id, op); the
+/// caller adds "key" (and "entry"/"sha256" for a store).
+json::Value cacheRequestEnvelope(uint64_t Id, const char *Op);
+
+/// A bare pira.cache-response envelope.
+json::Value cacheResponseEnvelope(uint64_t Id, const char *Op);
+
+/// A complete cache-protocol error response.
+json::Value cacheErrorResponse(uint64_t Id, const char *Error,
+                               std::string Message, bool Retryable);
 
 } // namespace service
 } // namespace pira

@@ -9,6 +9,8 @@
 
 #include "pipeline/Report.h"
 #include "pipeline/Worker.h"
+#include "service/CacheClient.h"
+#include "support/Hash.h"
 #include "support/Io.h"
 #include "support/Telemetry.h"
 
@@ -43,6 +45,11 @@ PIRA_STAT(NumServeClientsRejected,
           "Service client connections rejected at the connection cap");
 PIRA_STAT(NumServeIdleTimeouts,
           "Service connections closed by the inactivity timeout");
+PIRA_STAT(NumServeCacheLookups, "Shared-cache lookup requests served");
+PIRA_STAT(NumServeCacheHits, "Shared-cache lookups answered with an entry");
+PIRA_STAT(NumServeCacheStores, "Shared-cache store requests accepted");
+PIRA_STAT(NumServeCacheStoreRejected,
+          "Shared-cache stores rejected by integrity or decode checks");
 PIRA_HIST(ServeQueueWaitLatency,
           "Admission-queue wait per service compile request");
 PIRA_HIST(ServeRequestLatency,
@@ -50,7 +57,12 @@ PIRA_HIST(ServeRequestLatency,
 
 Server::Server(ServerOptions O)
     : Opts(std::move(O)), Cache(CacheMode::On, Opts.CacheDir),
-      Queue(Opts.QueueDepth) {}
+      Queue(Opts.QueueDepth) {
+  if (Opts.CacheMaxBytes != 0)
+    Cache.setDiskLimitBytes(Opts.CacheMaxBytes);
+  if (!Opts.CacheRemote.empty())
+    Cache.attachRemote(makeCacheBackendForTarget(Opts.CacheRemote));
+}
 
 Server::~Server() {
   if (SignalR >= 0)
@@ -233,6 +245,9 @@ void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
   const json::Value *Schema = Doc.find("schema");
   const json::Value *Version = Doc.find("version");
   const json::Value *Type = Doc.find("type");
+  if (Doc.isObject() && Schema != nullptr && Schema->isString() &&
+      Schema->asString() == CacheRequestSchemaName)
+    return handleCacheRequest(Conn, Doc, Id);
   if (!Doc.isObject() || Schema == nullptr || !Schema->isString() ||
       Schema->asString() != RequestSchemaName)
     return Protocol("not a pira.request document");
@@ -320,6 +335,100 @@ void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
             " requests)",
         /*Retryable=*/true));
   }
+}
+
+void Server::handleCacheRequest(const std::shared_ptr<Connection> &Conn,
+                                const json::Value &Doc, uint64_t Id) {
+  auto Reject = [&](const std::string &Message) {
+    ++NumServeProtocolErrors;
+    Conn->ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    Conn->sendDoc(cacheErrorResponse(Id, "protocol-error", Message,
+                                     /*Retryable=*/false));
+  };
+
+  if (!Opts.CacheServe)
+    return Reject("this daemon is not serving a shared cache "
+                  "(start it with --cache-serve)");
+
+  const json::Value *Version = Doc.find("version");
+  if (Version == nullptr || !Version->isInt() ||
+      Version->asInt() != ServiceProtocolVersion)
+    return Reject("unsupported cache protocol version");
+  if (!Doc.has("id"))
+    return Reject("cache request has no id");
+  const json::Value *Op = Doc.find("op");
+  if (Op == nullptr || !Op->isString())
+    return Reject("cache request has no op");
+  const json::Value *Key = Doc.find("key");
+  if (Key == nullptr || !Key->isString() || Key->asString().empty())
+    return Reject("cache request has no key");
+
+  const std::string &OpName = Op->asString();
+  if (OpName == "lookup") {
+    ++NumServeCacheLookups;
+    std::string Serialized;
+    std::optional<PipelineResult> R =
+        Cache.lookup(Key->asString(), &Serialized);
+    json::Value Resp = cacheResponseEnvelope(Id, "lookup");
+    if (R) {
+      ++NumServeCacheHits;
+      Resp.set("hit", true);
+      // The digest covers the exact bytes on the wire; the client
+      // re-hashes what it receives, so in-flight corruption anywhere
+      // between these two hash calls is caught.
+      Resp.set("entry", Serialized);
+      Resp.set("sha256", hash::Sha256::hashHex(Serialized));
+    } else {
+      Resp.set("hit", false);
+    }
+    Conn->sendDoc(Resp);
+    return;
+  }
+
+  if (OpName == "store") {
+    const json::Value *Entry = Doc.find("entry");
+    const json::Value *Digest = Doc.find("sha256");
+    if (Entry == nullptr || !Entry->isString() || Digest == nullptr ||
+        !Digest->isString()) {
+      ++NumServeCacheStoreRejected;
+      return Reject("cache store has no entry or digest");
+    }
+    // The same integrity gauntlet the consuming side runs: digest over
+    // the received bytes, a full decode, and the self-identifying key.
+    // A client cannot poison the shared cache with anything that merely
+    // looks like an entry — or with a valid entry filed under the wrong
+    // key.
+    if (hash::Sha256::hashHex(Entry->asString()) != Digest->asString()) {
+      ++NumServeCacheStoreRejected;
+      return Reject("cache store digest mismatch");
+    }
+    json::Value Parsed;
+    std::string Error;
+    if (!json::parse(Entry->asString(), Parsed, Error)) {
+      ++NumServeCacheStoreRejected;
+      return Reject("cache store entry does not parse: " + Error);
+    }
+    const json::Value *SelfKey = Parsed.find("key");
+    if (SelfKey == nullptr || !SelfKey->isString() ||
+        SelfKey->asString() != Key->asString()) {
+      ++NumServeCacheStoreRejected;
+      return Reject("cache store entry does not match its key");
+    }
+    Expected<PipelineResult> Decoded = decodeCacheEntry(Parsed);
+    if (!Decoded) {
+      ++NumServeCacheStoreRejected;
+      return Reject("cache store entry does not decode: " +
+                    Decoded.status().message());
+    }
+    Cache.insert(Key->asString(), *Decoded);
+    ++NumServeCacheStores;
+    json::Value Resp = cacheResponseEnvelope(Id, "store");
+    Resp.set("stored", true);
+    Conn->sendDoc(Resp);
+    return;
+  }
+
+  Reject("unknown cache op '" + OpName + "'");
 }
 
 void Server::executeOne(ServeRequest R) {
@@ -531,6 +640,25 @@ json::Value Server::statsToJson() {
   D.set("clients", std::move(Clients));
 
   D.set("cache", Cache.statsToJson());
+
+  // The shared-cache serving surface (satellite of the "cache" block,
+  // which covers the daemon's own tiers): what this daemon answered,
+  // plus the upstream tier's health when daemons are chained.
+  json::Value RC = json::Value::object();
+  RC.set("serving", Opts.CacheServe);
+  RC.set("lookups", NumServeCacheLookups.value());
+  RC.set("hits", NumServeCacheHits.value());
+  RC.set("stores", NumServeCacheStores.value());
+  RC.set("store_rejected", NumServeCacheStoreRejected.value());
+  if (RemoteCacheTier *Tier = Cache.remote()) {
+    RemoteCacheTier::Stats TS = Tier->stats();
+    RC.set("quarantined", TS.Quarantined);
+    RC.set("breaker", RemoteCacheTier::breakerName(TS.State));
+    RC.set("breaker_trips", TS.BreakerTrips);
+    RC.set("upstream", Tier->statsToJson());
+  }
+  D.set("remote_cache", std::move(RC));
+
   D.set("counters", countersToJson());
   D.set("histograms", histogramsToJson());
   return D;

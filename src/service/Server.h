@@ -50,6 +50,13 @@
 /// connection reader, bypassing the admission queue, so the daemon
 /// stays observable precisely when it is overloaded.
 ///
+/// With ServerOptions::CacheServe on, the daemon also answers the
+/// shared-cache protocol ("pira.cache-request": lookup/store against
+/// the warm cache, DESIGN.md §13), again inline. A store is accepted
+/// only after the digest check and a full decode, so one hostile client
+/// cannot poison the cache every other client shares; daemons can chain
+/// (CacheRemote) so an edge daemon's misses consult an upstream one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIRA_SERVICE_SERVER_H
@@ -100,6 +107,15 @@ struct ServerOptions {
   int DrainTimeoutMs = 5000;
   /// Disk tier for the warm cache; empty = memory-only.
   std::string CacheDir;
+  /// Answer pira.cache-request frames (lookup/store against the warm
+  /// cache). Off by default: a plain compile daemon refuses them.
+  bool CacheServe = false;
+  /// Chain this daemon's cache behind another daemon's ("port" or a
+  /// unix socket path): misses here consult the upstream, stores
+  /// propagate best-effort. Empty = no chaining.
+  std::string CacheRemote;
+  /// Bound for the on-disk cache tier in bytes; 0 = unbounded.
+  uint64_t CacheMaxBytes = 0;
   /// Accept/disconnect notices on stderr.
   bool Verbose = false;
 };
@@ -142,6 +158,10 @@ private:
   /// Handles one parsed request document on \p Conn.
   void handleRequest(const std::shared_ptr<Connection> &Conn,
                      const json::Value &Doc);
+  /// Handles one pira.cache-request document inline (cache operations
+  /// are cheap; like health/stats they bypass admission).
+  void handleCacheRequest(const std::shared_ptr<Connection> &Conn,
+                          const json::Value &Doc, uint64_t Id);
   void executeOne(ServeRequest R);
   void acceptFrom(const Listener &L);
   /// Joins reader threads whose connections are done; \p All joins

@@ -1,0 +1,1113 @@
+//===- tests/remote_cache_test.cpp - Remote cache tier tests --------------===//
+//
+// Part of PIRA, a reproduction of Pinter's PLDI'93 combined register
+// allocation / instruction scheduling framework.
+//
+// The shared remote cache tier (DESIGN.md §13): the RemoteCacheTier
+// envelope over a mocked backend — integrity verification and
+// quarantine, the circuit breaker's Closed/Open/HalfOpen walk,
+// in-operation retries, single-flight collapsing — the degradation
+// ladder through CompilationCache (remote → disk → memory → compile),
+// Verify mode across a lying remote, disk-tier trimming under
+// --cache-max-mb, the deterministic reconnect jitter, the net.* fault
+// sites inside the framing layer, and the framed cache protocol served
+// end-to-end by a real `pirac serve --cache-serve` daemon (including a
+// two-daemon chain).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "machine/MachineModel.h"
+#include "pipeline/Batch.h"
+#include "pipeline/Cache.h"
+#include "pipeline/Report.h"
+#include "service/CacheClient.h"
+#include "service/Client.h"
+#include "service/Framing.h"
+#include "service/Listener.h"
+#include "service/Server.h"
+#include "support/FaultInjection.h"
+#include "support/Hash.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pira;
+using namespace pira::service;
+
+namespace {
+
+/// A tiny well-formed function; \p Name keeps keys distinct per test.
+Function smallFunction(const std::string &Name) {
+  std::string Text = "func @" + Name + R"( regs 8 {
+block entry:
+  %s0 = li 1
+  %s1 = li 2
+  %s2 = add %s0, %s1
+  %s3 = fmul %s2, %s1
+  ret %s3
+}
+)";
+  Function F;
+  std::string Error;
+  EXPECT_TRUE(parseFunction(Text, F, Error)) << Error;
+  return F;
+}
+
+/// A compiled function with everything a remote tier traffics in: the
+/// key, the serialized entry, and the producer-side digest.
+struct Artifact {
+  std::string Key;
+  json::Value Entry;
+  std::string Text;
+  std::string Digest;
+  PipelineResult Result;
+};
+
+Artifact makeArtifact(const std::string &Name) {
+  Artifact A;
+  Function F = smallFunction(Name);
+  MachineModel M = MachineModel::rs6000();
+  BatchOptions Opts;
+  GuardedResult G = compileFunctionGuarded(F, M, Opts);
+  EXPECT_TRUE(G.Result.Success) << G.Result.Error;
+  A.Key = computeCacheKey(F, M, Opts);
+  A.Entry = encodeCacheEntry(G.Result, A.Key);
+  A.Text = A.Entry.toString(-1);
+  A.Digest = hash::Sha256::hashHex(A.Text);
+  A.Result = G.Result;
+  return A;
+}
+
+/// A fresh per-test scratch directory under the gtest temp root.
+std::filesystem::path scratchDir(const std::string &Tag) {
+  std::filesystem::path Dir =
+      std::filesystem::path(testing::TempDir()) / ("pira_remote_" + Tag);
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// An in-process backend the tests poison at will. The tier owns the
+/// unique_ptr; tests keep the raw pointer (the tier serializes calls,
+/// and counters are only read after the traffic of interest is done).
+class MockBackend : public RemoteCacheBackend {
+public:
+  std::map<std::string, RemoteCacheHit> Entries;
+  bool FailLookups = false;
+  bool FailStores = false;
+  unsigned FailFirstN = 0;            ///< Fail this many calls, then heal.
+  std::atomic<bool> Release{true};    ///< Gate for single-flight tests.
+  std::atomic<unsigned> LookupCalls{0};
+  std::atomic<unsigned> StoreCalls{0};
+
+  Expected<RemoteCacheHit> lookup(const std::string &Key,
+                                  int /*DeadlineMs*/) override {
+    ++LookupCalls;
+    for (int I = 0; I != 10000 && !Release.load(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (FailFirstN > 0) {
+      --FailFirstN;
+      return Status::error(ErrorCode::ServerOverloaded, "mock", "flaky");
+    }
+    if (FailLookups)
+      return Status::error(ErrorCode::ServerOverloaded, "mock", "down");
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      return RemoteCacheHit{};
+    return It->second;
+  }
+
+  Status store(const std::string &Key, const std::string &EntryText,
+               const std::string &Digest, int /*DeadlineMs*/) override {
+    ++StoreCalls;
+    if (FailStores)
+      return Status::error(ErrorCode::ServerOverloaded, "mock", "down");
+    Entries[Key] = RemoteCacheHit{true, EntryText, Digest};
+    return Status();
+  }
+
+  std::string describe() const override { return "mock"; }
+};
+
+/// Tier options with every window shrunk so failure paths are fast.
+RemoteCacheOptions fastOpts() {
+  RemoteCacheOptions O;
+  O.OpDeadlineMs = 500;
+  O.MaxAttempts = 1;
+  O.BackoffMs = 1;
+  O.BackoffCapMs = 2;
+  O.BreakerThreshold = 3;
+  O.BreakerCooldownMs = 50;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RemoteCacheTier over a mocked backend
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteTierTest, VerifiedHitIsServed) {
+  Artifact A = makeArtifact("hit");
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, A.Text, A.Digest};
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+
+  std::string Text;
+  std::shared_ptr<const json::Value> E = Tier.lookup(A.Key, &Text);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(Text, A.Text);
+  EXPECT_EQ(E->toString(-1), A.Text);
+  EXPECT_TRUE(decodeCacheEntry(*E).ok());
+
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Lookups, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Quarantined, 0u);
+  EXPECT_EQ(S.TransportFailures, 0u);
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Closed);
+}
+
+TEST(RemoteTierTest, AbsentKeyIsACleanMiss) {
+  auto Owned = std::make_unique<MockBackend>();
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+  EXPECT_EQ(Tier.lookup("no-such-key"), nullptr);
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.TransportFailures, 0u);
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Closed);
+}
+
+TEST(RemoteTierTest, DigestMismatchIsQuarantinedNotUsedNotABreakerEvent) {
+  Artifact A = makeArtifact("digest");
+  std::string WrongDigest = A.Digest;
+  WrongDigest[0] = WrongDigest[0] == 'a' ? 'b' : 'a';
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, A.Text, WrongDigest};
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+
+  // A lying daemon is not a dead one: the entry is quarantined every
+  // time, but the transport is healthy, so the breaker never moves.
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Tier.lookup(A.Key), nullptr);
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Quarantined, 5u);
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.TransportFailures, 0u);
+  EXPECT_EQ(S.BreakerTrips, 0u);
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Closed);
+}
+
+TEST(RemoteTierTest, EntryFiledUnderTheWrongKeyIsQuarantined) {
+  // A valid entry with a valid digest — but served under another key.
+  // The digest check passes; the self-identification check must not.
+  Artifact A = makeArtifact("selfkey_a");
+  Artifact B = makeArtifact("selfkey_b");
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[B.Key] = {true, A.Text, A.Digest};
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+  EXPECT_EQ(Tier.lookup(B.Key), nullptr);
+  EXPECT_EQ(Tier.stats().Quarantined, 1u);
+}
+
+TEST(RemoteTierTest, UndecodableEntryIsQuarantinedEvenWithAnHonestDigest) {
+  // Digest, parse, and self-key all pass; only the full decode can see
+  // that the schedule was gutted.
+  Artifact A = makeArtifact("decode");
+  json::Value Gutted = A.Entry;
+  Gutted.set("schedule", json::Value::array());
+  std::string Text = Gutted.toString(-1);
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, Text, hash::Sha256::hashHex(Text)};
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+  EXPECT_EQ(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Tier.stats().Quarantined, 1u);
+  EXPECT_EQ(Tier.stats().Hits, 0u);
+}
+
+TEST(RemoteTierTest, RetriesHealATransientFailureWithinOneOperation) {
+  Artifact A = makeArtifact("retry");
+  RemoteCacheOptions O = fastOpts();
+  O.MaxAttempts = 3;
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  Mock->FailFirstN = 2;
+  Mock->Entries[A.Key] = {true, A.Text, A.Digest};
+  RemoteCacheTier Tier(std::move(Owned), O);
+
+  EXPECT_NE(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Mock->LookupCalls.load(), 3u);
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.TransportFailures, 2u); // Two failed attempts, one success.
+  EXPECT_EQ(S.BreakerTrips, 0u);      // The operation succeeded overall.
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Closed);
+}
+
+TEST(RemoteTierTest, BreakerTripsOpenThenRecoversThroughAHalfOpenProbe) {
+  Artifact A = makeArtifact("breaker");
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  Mock->FailLookups = true;
+  RemoteCacheTier Tier(std::move(Owned), fastOpts()); // Threshold 3.
+
+  // Three consecutive failed operations trip the breaker open.
+  for (int I = 0; I != 3; ++I)
+    EXPECT_EQ(Tier.lookup(A.Key), nullptr);
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Open);
+  EXPECT_EQ(S.BreakerTrips, 1u);
+  EXPECT_EQ(S.TransportFailures, 3u);
+  EXPECT_EQ(Mock->LookupCalls.load(), 3u);
+
+  // While open, operations are refused without touching the network.
+  EXPECT_EQ(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Mock->LookupCalls.load(), 3u);
+  EXPECT_EQ(Tier.stats().BreakerSkipped, 1u);
+
+  // After the cooldown a single half-open probe reaches the (now
+  // recovered) daemon, succeeds, and closes the breaker again.
+  Mock->FailLookups = false;
+  Mock->Entries[A.Key] = {true, A.Text, A.Digest};
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_NE(Tier.lookup(A.Key), nullptr);
+  S = Tier.stats();
+  EXPECT_EQ(S.State, RemoteCacheTier::Breaker::Closed);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.BreakerTrips, 1u); // Recovery is not another trip.
+
+  // And traffic flows normally again.
+  EXPECT_NE(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Tier.stats().Hits, 2u);
+}
+
+TEST(RemoteTierTest, SingleFlightCollapsesConcurrentIdenticalLookups) {
+  Artifact A = makeArtifact("flight");
+  RemoteCacheOptions O = fastOpts();
+  O.OpDeadlineMs = 15000;
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  Mock->Entries[A.Key] = {true, A.Text, A.Digest};
+  Mock->Release = false; // Hold the leader inside the backend.
+  RemoteCacheTier Tier(std::move(Owned), O);
+
+  constexpr unsigned N = 4;
+  std::vector<std::thread> Threads;
+  std::vector<std::shared_ptr<const json::Value>> Out(N);
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&, I] { Out[I] = Tier.lookup(A.Key); });
+
+  // Wait until every follower has joined the leader's flight, then let
+  // the one backend call finish. The gate makes this deterministic: the
+  // leader cannot complete before the followers are counted.
+  for (int I = 0; I != 10000 && Tier.stats().Collapsed < N - 1; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Tier.stats().Collapsed, N - 1);
+  Mock->Release = true;
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Mock->LookupCalls.load(), 1u); // One wire operation total.
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Lookups, uint64_t(N));
+  EXPECT_EQ(S.Hits, 1u); // The leader's; followers share its entry.
+  for (unsigned I = 0; I != N; ++I) {
+    ASSERT_NE(Out[I], nullptr) << "waiter " << I;
+    EXPECT_EQ(Out[I]->toString(-1), A.Text);
+  }
+}
+
+TEST(RemoteTierTest, StoreComputesTheDigestAndRoundTrips) {
+  Artifact A = makeArtifact("store");
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+
+  Tier.store(A.Key, A.Text);
+  EXPECT_EQ(Tier.stats().Stores, 1u);
+  ASSERT_EQ(Mock->Entries.count(A.Key), 1u);
+  EXPECT_EQ(Mock->Entries[A.Key].Digest, A.Digest);
+
+  // What was published verifies on the way back down.
+  EXPECT_NE(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Tier.stats().Quarantined, 0u);
+}
+
+TEST(RemoteTierTest, StoreFailuresAreCountedAndSilent) {
+  Artifact A = makeArtifact("storefail");
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->FailStores = true;
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+  Tier.store(A.Key, A.Text); // Must not throw, block, or crash.
+  RemoteCacheTier::Stats S = Tier.stats();
+  EXPECT_EQ(S.Stores, 0u);
+  EXPECT_EQ(S.StoreFailures, 1u);
+  EXPECT_EQ(S.TransportFailures, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The degradation ladder through CompilationCache
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteLadderTest, RemoteHitShortCircuitsCompilation) {
+  Artifact A = makeArtifact("ladder_hit");
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, A.Text, A.Digest};
+  CompilationCache Cache(CacheMode::On);
+  Cache.attachRemote(std::move(Owned), fastOpts());
+
+  std::optional<PipelineResult> R = Cache.lookup(A.Key);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(functionToString(R->Final), functionToString(A.Result.Final));
+  EXPECT_EQ(R->DynCycles, A.Result.DynCycles);
+  CompilationCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.RemoteHits, 1u);
+  EXPECT_EQ(S.Misses, 0u);
+}
+
+TEST(RemoteLadderTest, DeadRemoteFallsThroughToDiskThenMemory) {
+  std::filesystem::path Dir = scratchDir("ladder_disk");
+  Artifact A = makeArtifact("ladder_disk");
+  {
+    CompilationCache Seed(CacheMode::On, Dir.string());
+    Seed.insert(A.Key, A.Result);
+  }
+
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->FailLookups = true;
+  CompilationCache Cache(CacheMode::On, Dir.string());
+  Cache.attachRemote(std::move(Owned), fastOpts());
+
+  // First lookup: the remote rung fails, the disk rung serves.
+  ASSERT_TRUE(Cache.lookup(A.Key).has_value());
+  // Second lookup: remote fails again, the promoted memory copy serves.
+  ASSERT_TRUE(Cache.lookup(A.Key).has_value());
+  CompilationCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.DiskHits, 1u);
+  EXPECT_EQ(S.MemoryHits, 1u);
+  EXPECT_EQ(S.RemoteHits, 0u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(Cache.remote()->stats().TransportFailures, 2u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(RemoteLadderTest, DeadRemoteWithNothingLocalIsJustAMiss) {
+  Artifact A = makeArtifact("ladder_miss");
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  Mock->FailLookups = true;
+  Mock->FailStores = true;
+  CompilationCache Cache(CacheMode::On);
+  Cache.attachRemote(std::move(Owned), fastOpts());
+
+  EXPECT_FALSE(Cache.lookup(A.Key).has_value());
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+
+  // The insert still lands locally even though the remote store drowns,
+  // and the memory tier serves once the dead remote is consulted.
+  Cache.insert(A.Key, A.Result);
+  EXPECT_EQ(Mock->StoreCalls.load(), 1u);
+  ASSERT_TRUE(Cache.lookup(A.Key).has_value());
+  EXPECT_EQ(Cache.stats().MemoryHits, 1u);
+  EXPECT_EQ(Cache.remote()->stats().StoreFailures, 1u);
+}
+
+TEST(RemoteLadderTest, InsertPublishesTheExactBytesAndDigest) {
+  Artifact A = makeArtifact("ladder_pub");
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  CompilationCache Cache(CacheMode::On); // Memory-only locally.
+  Cache.attachRemote(std::move(Owned), fastOpts());
+
+  Cache.insert(A.Key, A.Result);
+  ASSERT_EQ(Mock->Entries.count(A.Key), 1u);
+  EXPECT_EQ(Mock->Entries[A.Key].EntryText, A.Text);
+  EXPECT_EQ(Mock->Entries[A.Key].Digest, A.Digest);
+  EXPECT_EQ(Cache.remote()->stats().Stores, 1u);
+}
+
+namespace {
+
+/// The batch stats report with the legitimately-varying sections
+/// neutralized — what the CI chaos shard compares across daemon
+/// health states.
+std::string reportFingerprint(const std::vector<BatchItem> &Batch,
+                              const MachineModel &M, BatchOptions Opts) {
+  telemetry::reset();
+  BatchResult BR = compileBatch(Batch, M, Opts);
+  json::Value Report = makeBatchStatsReport(
+      BR, Batch, strategyName(Opts.Strategy), M, {}, Opts.Cache);
+  Report.set("timers", json::Value::array());
+  Report.set("counters", json::Value::object());
+  Report.set("histograms", json::Value::object());
+  Report.set("cache", json::Value::object());
+  return Report.toString();
+}
+
+std::vector<BatchItem> namedBatch(const std::string &Tag, unsigned N) {
+  std::vector<BatchItem> Batch;
+  for (unsigned I = 0; I != N; ++I)
+    Batch.push_back({Tag + std::to_string(I) + ".pir",
+                     smallFunction(Tag + std::to_string(I))});
+  return Batch;
+}
+
+} // namespace
+
+TEST(RemoteLadderTest, WarmRemoteBatchIsByteIdenticalToTheLocalRun) {
+  std::vector<BatchItem> Batch = namedBatch("ident", 4);
+  MachineModel M = MachineModel::rs6000();
+
+  // Baseline: caching off. (The report carries a "cache" block whenever
+  // a cache object exists; Off keeps the shape identical while the
+  // fingerprint blanks the block's volatile contents anyway.)
+  CompilationCache Off(CacheMode::Off);
+  BatchOptions Plain;
+  Plain.Jobs = 1;
+  Plain.Cache = &Off;
+  std::string Baseline = reportFingerprint(Batch, M, Plain);
+
+  // Cold run against an empty remote fills it through insert().
+  auto ColdOwned = std::make_unique<MockBackend>();
+  MockBackend *ColdMock = ColdOwned.get();
+  CompilationCache Cold(CacheMode::On);
+  Cold.attachRemote(std::move(ColdOwned), fastOpts());
+  BatchOptions ColdOpts;
+  ColdOpts.Jobs = 1;
+  ColdOpts.Cache = &Cold;
+  EXPECT_EQ(reportFingerprint(Batch, M, ColdOpts), Baseline);
+  ASSERT_EQ(ColdMock->Entries.size(), 4u);
+  std::map<std::string, RemoteCacheHit> Published = ColdMock->Entries;
+
+  // Warm runs served entirely by the remote tier, at every job count,
+  // byte-compare clean against the no-cache baseline.
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    auto Owned = std::make_unique<MockBackend>();
+    Owned->Entries = Published;
+    CompilationCache Warm(CacheMode::On);
+    Warm.attachRemote(std::move(Owned), fastOpts());
+    BatchOptions WarmOpts;
+    WarmOpts.Jobs = Jobs;
+    WarmOpts.Cache = &Warm;
+    EXPECT_EQ(reportFingerprint(Batch, M, WarmOpts), Baseline)
+        << "jobs=" << Jobs;
+    CompilationCache::Stats S = Warm.stats();
+    EXPECT_EQ(S.RemoteHits, 4u) << "jobs=" << Jobs;
+    EXPECT_EQ(S.Misses, 0u) << "jobs=" << Jobs;
+  }
+  telemetry::reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Verify mode across the remote tier
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteVerifyTest, ForgedButDigestValidEntryIsCaughtByVerifyMode) {
+  // A malicious daemon that recomputes the digest over forged bytes
+  // passes every integrity check — byte-identity verification against
+  // a recompile is the only oracle left, and it must fire.
+  Artifact A = makeArtifact("forge");
+  json::Value Forged = A.Entry;
+  const json::Value *Pipeline = Forged.find("pipeline");
+  ASSERT_NE(Pipeline, nullptr);
+  json::Value P = *Pipeline;
+  ASSERT_TRUE(P.has("dyn_cycles"));
+  P.set("dyn_cycles", P.find("dyn_cycles")->asInt() + 1);
+  Forged.set("pipeline", P);
+  std::string ForgedText = Forged.toString(-1);
+
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, ForgedText,
+                           hash::Sha256::hashHex(ForgedText)};
+  CompilationCache Verify(CacheMode::Verify);
+  Verify.attachRemote(std::move(Owned), fastOpts());
+
+  std::vector<BatchItem> Batch;
+  Batch.push_back({"a.pir", smallFunction("forge")});
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Cache = &Verify;
+  BatchResult BR = compileBatch(Batch, MachineModel::rs6000(), Opts);
+  ASSERT_EQ(BR.Succeeded, 1u);
+  CompilationCache::Stats S = Verify.stats();
+  EXPECT_EQ(S.RemoteHits, 1u);
+  EXPECT_EQ(S.VerifyMismatches, 1u);
+  EXPECT_EQ(Verify.remote()->stats().Quarantined, 0u);
+  // The fresh compile wins; the forged cycle count never surfaces.
+  EXPECT_EQ(BR.Results[0].DynCycles, A.Result.DynCycles);
+}
+
+TEST(RemoteVerifyTest, TamperedEntryIsQuarantinedBeforeVerifyEverSeesIt) {
+  // Tampered bytes under the *original* digest die in the integrity
+  // gauntlet: quarantined, recompiled, and no verify mismatch — the
+  // report stays clean because the entry was never used.
+  Artifact A = makeArtifact("tamper");
+  std::string Tampered = A.Text;
+  size_t Pos = Tampered.rfind("dyn_cycles");
+  ASSERT_NE(Pos, std::string::npos);
+  Tampered[Tampered.find_first_of("0123456789", Pos)] ^= 1;
+
+  auto Owned = std::make_unique<MockBackend>();
+  MockBackend *Mock = Owned.get();
+  Mock->Entries[A.Key] = {true, Tampered, A.Digest};
+  CompilationCache Verify(CacheMode::Verify);
+  Verify.attachRemote(std::move(Owned), fastOpts());
+
+  std::vector<BatchItem> Batch;
+  Batch.push_back({"a.pir", smallFunction("tamper")});
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Cache = &Verify;
+  BatchResult BR = compileBatch(Batch, MachineModel::rs6000(), Opts);
+  ASSERT_EQ(BR.Succeeded, 1u);
+  CompilationCache::Stats S = Verify.stats();
+  EXPECT_EQ(Verify.remote()->stats().Quarantined, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.VerifyMismatches, 0u);
+  EXPECT_EQ(S.RemoteHits, 0u);
+  // The recompile re-published a good entry over the tampered one.
+  EXPECT_EQ(S.Inserts, 1u);
+  EXPECT_EQ(Mock->Entries[A.Key].EntryText, A.Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Disk-tier trimming (--cache-max-mb)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeFile(const std::filesystem::path &P, size_t Bytes) {
+  std::ofstream(P) << std::string(Bytes, 'x');
+}
+
+} // namespace
+
+TEST(CacheTrimTest, OldestEntriesGoFirst) {
+  std::filesystem::path Dir = scratchDir("trim_oldest");
+  std::filesystem::create_directories(Dir);
+  // Three settled entries from "previous runs", oldest first; the mtime
+  // spacing makes the eviction order unambiguous.
+  writeFile(Dir / "aa.json", 40000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  writeFile(Dir / "bb.json", 40000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  writeFile(Dir / "cc.json", 40000);
+
+  CompilationCache Cache(CacheMode::On, Dir.string());
+  Cache.setDiskLimitBytes(100000);
+  Artifact A = makeArtifact("trim_oldest");
+  Cache.insert(A.Key, A.Result);
+
+  // One eviction suffices, and it takes the oldest file.
+  EXPECT_FALSE(std::filesystem::exists(Dir / "aa.json"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "bb.json"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "cc.json"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / (A.Key + ".json")));
+  EXPECT_EQ(Cache.stats().TrimmedEntries, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTrimTest, OwnEntriesAndTempFilesAreNeverEvicted) {
+  std::filesystem::path Dir = scratchDir("trim_own");
+  std::filesystem::create_directories(Dir);
+  writeFile(Dir / "old.json", 100);            // Evictable.
+  writeFile(Dir / "x.json.tmp.3.17", 100);     // In-flight: untouchable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  CompilationCache Cache(CacheMode::On, Dir.string());
+  Cache.setDiskLimitBytes(1); // Impossible bound: evict all it may.
+  Artifact A = makeArtifact("trim_own");
+  Cache.insert(A.Key, A.Result);
+
+  // The stranger was evicted; this instance's own entry and the temp
+  // file survived even though the directory still exceeds the bound.
+  EXPECT_FALSE(std::filesystem::exists(Dir / "old.json"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "x.json.tmp.3.17"));
+  EXPECT_TRUE(std::filesystem::exists(Dir / (A.Key + ".json")));
+  EXPECT_EQ(Cache.stats().TrimmedEntries, 1u);
+
+  // The entry it refused to evict still serves.
+  CompilationCache Fresh(CacheMode::On, Dir.string());
+  EXPECT_TRUE(Fresh.lookup(A.Key).has_value());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CacheTrimTest, AFreshInstanceMayEvictAPredecessorsEntries) {
+  std::filesystem::path Dir = scratchDir("trim_fresh");
+  Artifact Old = makeArtifact("trim_old");
+  Artifact New = makeArtifact("trim_new");
+  {
+    CompilationCache First(CacheMode::On, Dir.string());
+    First.insert(Old.Key, Old.Result);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // The next process run is not bound by the first one's written-keys
+  // protection — exactly how a shared directory shrinks over time.
+  CompilationCache Second(CacheMode::On, Dir.string());
+  Second.setDiskLimitBytes(1);
+  Second.insert(New.Key, New.Result);
+  EXPECT_FALSE(std::filesystem::exists(Dir / (Old.Key + ".json")));
+  EXPECT_TRUE(std::filesystem::exists(Dir / (New.Key + ".json")));
+  EXPECT_EQ(Second.stats().TrimmedEntries, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic reconnect jitter (service/Client.h)
+//===----------------------------------------------------------------------===//
+
+TEST(ClientBackoffTest, AttemptZeroNeverWaits) {
+  ClientOptions O;
+  EXPECT_EQ(retryBackoffMs(O, 0), 0u);
+}
+
+TEST(ClientBackoffTest, BackoffDoublesStaysJitteredAndCaps) {
+  ClientOptions O;
+  O.RetryBackoffMs = 64;
+  O.BackoffCapMs = 256;
+  O.JitterSeed = 7;
+  for (unsigned Attempt = 1; Attempt != 7; ++Attempt) {
+    uint64_t Base = std::min<uint64_t>(uint64_t(64) << (Attempt - 1), 256);
+    uint64_t V = retryBackoffMs(O, Attempt);
+    EXPECT_GE(V, Base / 2) << "attempt " << Attempt;
+    EXPECT_LE(V, Base) << "attempt " << Attempt;
+    // Deterministic: the same client replays the same timing.
+    EXPECT_EQ(V, retryBackoffMs(O, Attempt)) << "attempt " << Attempt;
+  }
+}
+
+TEST(ClientBackoffTest, DifferentSeedsDecorrelateClients) {
+  // N clients orphaned by one daemon death must not reconnect in
+  // lockstep; per-client seeds spread the retry storm.
+  ClientOptions A, B;
+  A.RetryBackoffMs = B.RetryBackoffMs = 64;
+  A.BackoffCapMs = B.BackoffCapMs = 4096;
+  A.JitterSeed = 1;
+  B.JitterSeed = 2;
+  bool AnyDiffer = false;
+  for (unsigned Attempt = 1; Attempt != 8 && !AnyDiffer; ++Attempt)
+    AnyDiffer = retryBackoffMs(A, Attempt) != retryBackoffMs(B, Attempt);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+//===----------------------------------------------------------------------===//
+// The net.* fault sites inside the framing layer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A connected socketpair for exercising the framing helpers against a
+/// peer the test controls byte-by-byte.
+struct Pair {
+  int A = -1, B = -1;
+  Pair() {
+    int Fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = Fds[0];
+    B = Fds[1];
+  }
+  ~Pair() {
+    if (A >= 0)
+      ::close(A);
+    if (B >= 0)
+      ::close(B);
+  }
+};
+
+/// Fault tests disarm the harness on the way out so armed sites never
+/// leak into the rest of the binary.
+class NetFaultTest : public testing::Test {
+protected:
+  void TearDown() override { faultinject::reset(); }
+
+  static void arm(const std::string &Spec) {
+    std::string Error;
+    ASSERT_TRUE(faultinject::configure(Spec, Error)) << Error;
+  }
+};
+
+} // namespace
+
+TEST_F(NetFaultTest, EveryNetworkSiteIsRegistered) {
+  const std::vector<const char *> &Sites = faultinject::knownSites();
+  for (const char *Want :
+       {"net.write.short", "net.frame.torn", "net.read.stall", "net.reset",
+        "net.payload.corrupt"}) {
+    bool Found = false;
+    for (const char *S : Sites)
+      Found = Found || std::strcmp(S, Want) == 0;
+    EXPECT_TRUE(Found) << Want;
+  }
+}
+
+TEST_F(NetFaultTest, ReadStallBecomesATimeout) {
+  Pair P;
+  ASSERT_TRUE(writeFrame(P.B, "{\"x\": 1}"));
+  arm("net.read.stall:1");
+  std::string Out;
+  EXPECT_EQ(readFrame(P.A, Out, DefaultMaxFrameBytes, 50),
+            FrameStatus::Timeout);
+}
+
+TEST_F(NetFaultTest, ConnectionResetBecomesAnError) {
+  Pair P;
+  ASSERT_TRUE(writeFrame(P.B, "{\"x\": 1}"));
+  arm("net.reset:1");
+  std::string Out;
+  EXPECT_EQ(readFrame(P.A, Out, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Error);
+}
+
+TEST_F(NetFaultTest, TornFrameBecomesAnErrorAfterTheBytesArrived) {
+  Pair P;
+  ASSERT_TRUE(writeFrame(P.B, "{\"x\": 1}"));
+  arm("net.frame.torn:1");
+  std::string Out;
+  EXPECT_EQ(readFrame(P.A, Out, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Error);
+}
+
+TEST_F(NetFaultTest, PayloadCorruptionIsInvisibleToTheFramingLayer) {
+  Pair P;
+  const std::string Payload = "{\"seq\": 41}";
+  ASSERT_TRUE(writeFrame(P.B, Payload));
+  arm("net.payload.corrupt:1");
+  std::string Out;
+  ASSERT_EQ(readFrame(P.A, Out, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Ok);
+  // The frame reads clean — same length, still parsable JSON — but the
+  // last digit was mutated. Only an end-to-end digest can catch this.
+  EXPECT_EQ(Out, "{\"seq\": 42}");
+  EXPECT_NE(Out, Payload);
+}
+
+TEST_F(NetFaultTest, ShortWriteFailsTheSendAndLeavesATornFrameBehind) {
+  Pair P;
+  arm("net.write.short:1");
+  EXPECT_FALSE(writeFrame(P.B, "{\"seq\": 99}"));
+  faultinject::reset();
+  // The peer sees a header promising more bytes than ever arrive; once
+  // the writer hangs up that is a torn frame, not a clean EOF.
+  ::close(P.B);
+  P.B = -1;
+  std::string Out;
+  EXPECT_EQ(readFrame(P.A, Out, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Error);
+}
+
+TEST_F(NetFaultTest, CorruptedRemoteEntryIsQuarantinedEndToEnd) {
+  // The full consumer path under in-flight corruption: the tier fetches
+  // through a backend whose payload was mutated on the wire, the digest
+  // cross-check catches it, and the lookup degrades to a miss.
+  Artifact A = makeArtifact("wire_corrupt");
+  std::string Mutated = A.Text;
+  size_t Digit = Mutated.find_last_of("0123456789");
+  ASSERT_NE(Digit, std::string::npos);
+  Mutated[Digit] = Mutated[Digit] == '9' ? '0' : Mutated[Digit] + 1;
+
+  auto Owned = std::make_unique<MockBackend>();
+  Owned->Entries[A.Key] = {true, Mutated, A.Digest};
+  RemoteCacheTier Tier(std::move(Owned), fastOpts());
+  EXPECT_EQ(Tier.lookup(A.Key), nullptr);
+  EXPECT_EQ(Tier.stats().Quarantined, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end against a real --cache-serve daemon
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A raw loopback connection for tests that speak the cache protocol
+/// frame-by-frame (including deliberately broken requests).
+int rawConnect(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0)
+      << std::strerror(errno);
+  return Fd;
+}
+
+json::Value readResponse(int Fd, int TimeoutMs = 30000) {
+  std::string Payload;
+  FrameStatus S = readFrame(Fd, Payload, DefaultMaxFrameBytes, TimeoutMs);
+  EXPECT_EQ(S, FrameStatus::Ok) << frameStatusName(S);
+  json::Value Doc;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Payload, Doc, Error)) << Error;
+  return Doc;
+}
+
+std::string responseOp(const json::Value &Doc) {
+  const json::Value *Op = Doc.find("op");
+  return Op != nullptr && Op->isString() ? Op->asString() : "";
+}
+
+json::Value lookupRequest(uint64_t Id, const std::string &Key) {
+  json::Value R = cacheRequestEnvelope(Id, "lookup");
+  R.set("key", Key);
+  return R;
+}
+
+json::Value storeRequest(uint64_t Id, const std::string &Key,
+                         const std::string &Text,
+                         const std::string &Digest) {
+  json::Value R = cacheRequestEnvelope(Id, "store");
+  R.set("key", Key);
+  R.set("entry", Text);
+  R.set("sha256", Digest);
+  return R;
+}
+
+/// Runs real Servers on background threads and owns their shutdown.
+class RemoteServeTest : public testing::Test {
+protected:
+  struct Daemon {
+    std::unique_ptr<Server> Srv;
+    std::thread Runner;
+    int Exit = -1;
+  };
+
+  void TearDown() override {
+    for (std::unique_ptr<Daemon> &D : Daemons)
+      if (D->Runner.joinable()) {
+        D->Srv->requestAbort();
+        D->Runner.join();
+      }
+    Daemons.clear();
+  }
+
+  Server &start(ServerOptions O) {
+    Daemons.push_back(std::make_unique<Daemon>());
+    Daemon *D = Daemons.back().get();
+    D->Srv = std::make_unique<Server>(std::move(O));
+    Status S = D->Srv->bind();
+    EXPECT_TRUE(S.ok()) << S.toString();
+    D->Runner = std::thread([D] { D->Exit = D->Srv->run(); });
+    return *D->Srv;
+  }
+
+  static ServerOptions cacheServeOptions() {
+    ServerOptions O;
+    O.TcpPort = 0;
+    O.Threads = 2;
+    O.CacheServe = true;
+    return O;
+  }
+
+  std::vector<std::unique_ptr<Daemon>> Daemons;
+};
+
+} // namespace
+
+TEST_F(RemoteServeTest, ColdBatchPublishesAndAFreshClientHitsRemotely) {
+  Server &Srv = start(cacheServeOptions());
+  std::vector<BatchItem> Batch = namedBatch("e2e", 3);
+  MachineModel M = MachineModel::rs6000();
+
+  // Cold run: misses everywhere, compiles, publishes to the daemon.
+  CompilationCache Cold(CacheMode::On);
+  Cold.attachRemote(
+      std::make_unique<SocketCacheBackend>("", Srv.tcpPort()));
+  BatchOptions ColdOpts;
+  ColdOpts.Jobs = 1;
+  ColdOpts.Cache = &Cold;
+  BatchResult First = compileBatch(Batch, M, ColdOpts);
+  ASSERT_EQ(First.Succeeded, 3u);
+  EXPECT_EQ(Cold.stats().Misses, 3u);
+  EXPECT_EQ(Cold.remote()->stats().Stores, 3u);
+
+  // A brand-new client process (fresh cache, fresh connection) is
+  // served entirely from the daemon.
+  CompilationCache Warm(CacheMode::On);
+  Warm.attachRemote(
+      std::make_unique<SocketCacheBackend>("", Srv.tcpPort()));
+  BatchOptions WarmOpts;
+  WarmOpts.Jobs = 1;
+  WarmOpts.Cache = &Warm;
+  BatchResult Second = compileBatch(Batch, M, WarmOpts);
+  ASSERT_EQ(Second.Succeeded, 3u);
+  CompilationCache::Stats S = Warm.stats();
+  EXPECT_EQ(S.RemoteHits, 3u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(Warm.remote()->stats().Quarantined, 0u);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(functionToString(Second.Results[I].Final),
+              functionToString(First.Results[I].Final));
+
+  // The daemon's serve-stats surface saw all of it.
+  ClientOptions CO;
+  CO.TcpPort = Srv.tcpPort();
+  ServiceClient C(CO);
+  Expected<json::Value> Stats = C.stats();
+  ASSERT_TRUE(bool(Stats)) << Stats.status().toString();
+  const json::Value *RC = Stats->find("remote_cache");
+  ASSERT_NE(RC, nullptr);
+  EXPECT_TRUE(RC->find("serving")->asBool());
+  EXPECT_GE(RC->find("lookups")->asInt(), 6);
+  EXPECT_GE(RC->find("hits")->asInt(), 3);
+  EXPECT_GE(RC->find("stores")->asInt(), 3);
+}
+
+TEST_F(RemoteServeTest, NonServingDaemonDegradesToALocalCompile) {
+  ServerOptions O = cacheServeOptions();
+  O.CacheServe = false; // A plain compile daemon refuses cache frames.
+  Server &Srv = start(O);
+
+  CompilationCache Cache(CacheMode::On);
+  Cache.attachRemote(
+      std::make_unique<SocketCacheBackend>("", Srv.tcpPort()), fastOpts());
+  std::vector<BatchItem> Batch = namedBatch("refused", 1);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Cache = &Cache;
+  BatchResult BR = compileBatch(Batch, MachineModel::rs6000(), Opts);
+  ASSERT_EQ(BR.Succeeded, 1u); // The refusal cost nothing but latency.
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_GE(Cache.remote()->stats().TransportFailures, 1u);
+  EXPECT_EQ(Cache.remote()->stats().Hits, 0u);
+}
+
+TEST_F(RemoteServeTest, DeadDaemonNeverBlocksTheBatch) {
+  // A port with nothing behind it: connects are refused instantly.
+  uint16_t DeadPort = 0;
+  {
+    Expected<Listener> L = Listener::listenTcp(0);
+    ASSERT_TRUE(bool(L)) << L.status().toString();
+    DeadPort = L->port();
+  }
+
+  CompilationCache Cache(CacheMode::On);
+  Cache.attachRemote(std::make_unique<SocketCacheBackend>("", DeadPort),
+                     fastOpts());
+  std::vector<BatchItem> Batch = namedBatch("dead", 2);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Cache = &Cache;
+  BatchResult BR = compileBatch(Batch, MachineModel::rs6000(), Opts);
+  ASSERT_EQ(BR.Succeeded, 2u);
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+  EXPECT_GE(Cache.remote()->stats().TransportFailures, 1u);
+}
+
+TEST_F(RemoteServeTest, StoreValidationRejectsEveryFlavorOfPoison) {
+  Server &Srv = start(cacheServeOptions());
+  int Fd = rawConnect(Srv.tcpPort());
+  Artifact A = makeArtifact("poison");
+  Artifact B = makeArtifact("poison_other");
+
+  // Unknown key: a clean miss, not an error.
+  ASSERT_TRUE(writeFrameDoc(Fd, lookupRequest(1, A.Key)));
+  json::Value Miss = readResponse(Fd);
+  EXPECT_EQ(responseOp(Miss), "lookup");
+  EXPECT_FALSE(Miss.find("hit")->asBool());
+
+  // Digest that does not cover the bytes.
+  ASSERT_TRUE(writeFrameDoc(Fd, storeRequest(2, A.Key, A.Text, B.Digest)));
+  EXPECT_EQ(responseOp(readResponse(Fd)), "error");
+
+  // A valid entry filed under someone else's key.
+  ASSERT_TRUE(writeFrameDoc(Fd, storeRequest(3, B.Key, A.Text, A.Digest)));
+  EXPECT_EQ(responseOp(readResponse(Fd)), "error");
+
+  // Bytes that are not an entry at all (digest honest, content not).
+  ASSERT_TRUE(writeFrameDoc(
+      Fd, storeRequest(4, A.Key, "not an entry",
+                       hash::Sha256::hashHex("not an entry"))));
+  EXPECT_EQ(responseOp(readResponse(Fd)), "error");
+
+  // A request with no key.
+  ASSERT_TRUE(writeFrameDoc(Fd, cacheRequestEnvelope(5, "lookup")));
+  EXPECT_EQ(responseOp(readResponse(Fd)), "error");
+
+  // An op the protocol does not know.
+  json::Value Zap = cacheRequestEnvelope(7, "zap");
+  Zap.set("key", A.Key);
+  ASSERT_TRUE(writeFrameDoc(Fd, Zap));
+  EXPECT_EQ(responseOp(readResponse(Fd)), "error");
+
+  // After all that hostility, the honest store still lands…
+  ASSERT_TRUE(writeFrameDoc(Fd, storeRequest(8, A.Key, A.Text, A.Digest)));
+  json::Value Stored = readResponse(Fd);
+  EXPECT_EQ(responseOp(Stored), "store");
+  EXPECT_TRUE(Stored.find("stored")->asBool());
+
+  // …and the same bytes come back, digest re-attested server-side.
+  ASSERT_TRUE(writeFrameDoc(Fd, lookupRequest(9, A.Key)));
+  json::Value Hit = readResponse(Fd);
+  EXPECT_EQ(responseOp(Hit), "lookup");
+  ASSERT_TRUE(Hit.find("hit")->asBool());
+  EXPECT_EQ(Hit.find("entry")->asString(), A.Text);
+  EXPECT_EQ(Hit.find("sha256")->asString(), A.Digest);
+  ::close(Fd);
+}
+
+TEST_F(RemoteServeTest, CacheFramesAgainstANonServingDaemonAreRefused) {
+  ServerOptions O = cacheServeOptions();
+  O.CacheServe = false;
+  Server &Srv = start(O);
+  int Fd = rawConnect(Srv.tcpPort());
+  ASSERT_TRUE(writeFrameDoc(Fd, lookupRequest(1, "abc")));
+  json::Value Err = readResponse(Fd);
+  EXPECT_EQ(responseOp(Err), "error");
+  EXPECT_NE(Err.find("message")->asString().find("--cache-serve"),
+            std::string::npos);
+
+  // The refusal is per-frame: the same connection still compiles.
+  json::Value Req = requestEnvelope(2, "health");
+  ASSERT_TRUE(writeFrameDoc(Fd, Req));
+  json::Value H = readResponse(Fd);
+  EXPECT_EQ(H.find("type")->asString(), "health");
+  ::close(Fd);
+}
+
+TEST_F(RemoteServeTest, DaemonsChainMissesToAnUpstreamDaemon) {
+  // Edge daemon → upstream daemon: a store published to the upstream is
+  // visible through the edge, which consults its own remote tier on a
+  // local miss — the same ladder, one level up.
+  Server &Up = start(cacheServeOptions());
+  ServerOptions EdgeO = cacheServeOptions();
+  EdgeO.CacheRemote = std::to_string(Up.tcpPort());
+  Server &Edge = start(EdgeO);
+
+  Artifact A = makeArtifact("chain");
+  RemoteCacheTier UpTier(
+      std::make_unique<SocketCacheBackend>("", Up.tcpPort()),
+      RemoteCacheOptions{});
+  UpTier.store(A.Key, A.Text);
+  ASSERT_EQ(UpTier.stats().Stores, 1u);
+
+  RemoteCacheTier EdgeTier(
+      std::make_unique<SocketCacheBackend>("", Edge.tcpPort()),
+      RemoteCacheOptions{});
+  std::string Text;
+  std::shared_ptr<const json::Value> E = EdgeTier.lookup(A.Key, &Text);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(Text, A.Text);
+  EXPECT_EQ(EdgeTier.stats().Hits, 1u);
+  EXPECT_EQ(EdgeTier.stats().Quarantined, 0u);
+}
